@@ -1,0 +1,46 @@
+"""E8 — §5.4 batch parameter B: speedup from larger pencil batches.
+
+Paper observations: doubling B gives +19.9% at N=256 (512 -> 1024), +7.35%
+at N=1024 (1024 -> 2048), and 5-7% at N=2048 — "for smaller sizes, the
+choice of B matters more".  The launch-overhead model reproduces the
+*shape* (gains shrink with N); the magnitude at N=2048 under-shoots, which
+EXPERIMENTS.md records as a known model deviation.  A second benchmark
+measures the real effect of B on the Python pipeline (it only re-schedules
+work, so results are bit-identical — verified — while wall time varies).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.experiments import run_batch_sweep
+from repro.core.local_conv import LocalConvolution
+from repro.core.policy import SamplingPolicy
+from repro.kernels.gaussian import GaussianKernel
+
+
+def test_batch_sweep_model(benchmark):
+    report = benchmark(run_batch_sweep)
+    emit(report.render())
+    gains = [r.measured for r in report.rows]
+    assert gains[0] > gains[1] > gains[2]  # the paper's shape
+    assert gains[0] > 10  # double-digit gain at N=256
+
+
+def test_batch_result_invariance(benchmark):
+    """B is pure scheduling: any batch size gives the identical result."""
+    n, k = 32, 8
+    spec = GaussianKernel(n=n, sigma=1.5).spectrum()
+    sub = np.ones((k, k, k))
+    pol = SamplingPolicy.flat_rate(2)
+
+    def run_all():
+        outs = []
+        for batch in (16, 128, 1024):
+            lc = LocalConvolution(n, spec, pol, batch=batch)
+            outs.append(lc.convolve(sub, (8, 8, 8)).values)
+        return outs
+
+    outs = benchmark(run_all)
+    np.testing.assert_allclose(outs[0], outs[1], atol=1e-12)
+    np.testing.assert_allclose(outs[0], outs[2], atol=1e-12)
+    emit("B in {16, 128, 1024}: identical results (max |diff| < 1e-12)")

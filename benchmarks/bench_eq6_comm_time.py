@@ -1,0 +1,56 @@
+"""E7 — Eqs 1, 2, 6: communication time of the traditional distributed FFT
+vs our single sparse exchange, over worker counts.
+
+Shape targets: T_ours < T_Comm,FFT everywhere (Eq 6 < Eq 1); the advantage
+equals ``2 N^3 / (k^3 + (N^3-k^3)/r^3)`` independent of P in the
+bandwidth-only model; with the alpha term included (Eq 2), the traditional
+FFT degrades *faster* at large P because it pays per-message latency on
+every one of its all-to-all stages.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import run_comm_time_sweep
+from repro.analysis.tables import format_table
+from repro.cluster.cost import comm_time_ours, comm_time_traditional_fft
+from repro.cluster.network import Link
+
+
+def test_eq1_vs_eq6_sweep(benchmark):
+    rows = benchmark(run_comm_time_sweep)
+    emit(
+        format_table(
+            ["P", "T_fft (s)", "T_ours (s)", "advantage"],
+            rows,
+            title="Eq 1 vs Eq 6 (N=1024, k=128, r=8)",
+        )
+    )
+    for _p, t_fft, t_ours, adv in rows:
+        assert t_ours < t_fft
+        assert adv > 1
+
+
+def test_latency_regimes(benchmark):
+    """With Eq 2's alpha included, both pipelines become latency-bound at
+    very large P and the advantage tends to the *round-count ratio* (two
+    all-to-all stages vs one exchange) — rounds, not just volume, are what
+    the Bruck-style lower bounds the paper cites are about."""
+    link = Link(alpha_s=2e-6)
+
+    def ratios():
+        out = []
+        for p in (64, 1024, 16384):
+            t_fft = comm_time_traditional_fft(1024, p, link, include_latency=True)
+            t_ours = comm_time_ours(1024, 128, 8, p, link, include_latency=True)
+            out.append((p, t_fft / t_ours))
+        return out
+
+    rows = benchmark(ratios)
+    emit(format_table(["P", "advantage (with alpha)"], rows, title="Eq 2 effect"))
+    advantages = [a for _p, a in rows]
+    # volume-dominated at moderate P: two-orders-of-magnitude advantage
+    assert advantages[0] > 50
+    # latency-dominated at extreme P: advantage approaches the 2:1 round ratio
+    assert 1.5 < advantages[-1] < advantages[0]
+    # monotone decline between regimes
+    assert advantages[0] > advantages[1] > advantages[2]

@@ -1,0 +1,51 @@
+"""E14 — kernel-family applicability: what actually governs the error.
+
+The paper argues the method extends to "similar differential equation
+solvers" because their Green's functions decay.  Measuring across the
+canonical families (Gaussian sharp/smooth, Yukawa, Poisson) at one
+sampling budget shows TWO axes:
+
+- decay rate orders the *support radius* (how aggressively the far field
+  compresses) exactly as the paper assumes;
+- at a fixed budget, the error is governed by result smoothness at the
+  sampling scale: the smooth 1/r Poisson tail reconstructs *better* than
+  a sharp Gaussian's near shell, despite decaying far more slowly — a
+  reproduction finding recorded in EXPERIMENTS.md that refines the
+  paper's heuristic (sharp kernels need a dense near band; slow-decaying
+  smooth kernels tolerate sparse sampling but not spatial truncation).
+"""
+
+from conftest import emit
+
+from repro.analysis.kernel_study import kernel_family_study
+from repro.analysis.tables import format_table
+
+
+def test_kernel_family_axes(benchmark):
+    rows = benchmark(kernel_family_study)
+    emit(
+        format_table(
+            ["kernel", "decay exponent", "support radius", "L2 error", "compression"],
+            [
+                [r.name, r.decay_exponent, r.support_radius, r.l2_error,
+                 r.compression_ratio]
+                for r in rows
+            ],
+            title="Kernel families at a shared sampling budget (N=32, k=8)",
+        )
+    )
+    by = {r.family: r for r in rows}
+
+    # Axis 1 (decay/compression): support radius orders by decay class.
+    assert by["gaussian-sharp"].support_radius < by["yukawa"].support_radius
+    assert by["yukawa"].support_radius < by["poisson"].support_radius
+    assert by["gaussian-sharp"].decay_exponent > by["poisson"].decay_exponent
+
+    # Axis 2 (smoothness/interpolation): smoother results reconstruct
+    # better at the same budget — across families AND within one family.
+    assert by["gaussian-smooth"].l2_error < by["gaussian-sharp"].l2_error
+    assert by["poisson"].l2_error < by["gaussian-sharp"].l2_error
+
+    # Applicability: every Green's-function-like kernel stays within a
+    # usable band at this modest budget.
+    assert all(r.l2_error < 0.06 for r in rows)

@@ -1,0 +1,49 @@
+"""E9 — §5.3: MASSIF convergence under approximate convolution.
+
+The paper's claim: "convolution error up to 3% did not largely impact
+convergence or number of iterations".  We run Algorithm 1 (exact) and
+Algorithm 2 (compressed, r=2) on a two-phase composite:
+
+- with r=1 the low-communication loop matches Algorithm 1 bit-for-bit;
+- with r=2 the *homogenized* stress agrees to < 1% and the iteration
+  stalls cleanly at a residual floor set by the compression (the
+  reproduction finding documented in EXPERIMENTS.md: local fields carry a
+  several-percent error, macroscopic outputs do not).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import run_massif_convergence
+from repro.analysis.tables import format_table
+
+
+def test_massif_alg1_vs_alg2(benchmark):
+    res = benchmark(run_massif_convergence)
+    emit(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["Alg 1 iterations", res.alg1_iterations],
+                ["Alg 2 iterations (to floor)", res.alg2_iterations],
+                ["Alg 2 stalled at floor", res.alg2_stalled],
+                ["Alg 2 best residual", res.alg2_best_residual],
+                ["effective stress error", res.effective_stress_error],
+                ["strain field error", res.strain_field_error],
+            ],
+            title="MASSIF: Algorithm 1 (exact) vs Algorithm 2 (r=2)",
+        )
+    )
+    assert res.effective_stress_error < 0.01  # homogenized output preserved
+    assert res.alg2_best_residual < 0.01  # converges to a real floor
+    assert res.alg2_iterations <= 2 * res.alg1_iterations + 10
+
+
+def test_massif_lossless_equivalence(benchmark):
+    """r = 1: Algorithm 2 is Algorithm 1 with a different execution layout."""
+    res = benchmark(run_massif_convergence, n=8, k=4, r=1, max_iter=150)
+    emit(
+        f"r=1: strain field error {res.strain_field_error:.2e}, "
+        f"iterations {res.alg1_iterations} vs {res.alg2_iterations}"
+    )
+    assert res.strain_field_error < 1e-7
+    assert res.alg1_iterations == res.alg2_iterations

@@ -1,0 +1,21 @@
+"""E1 — Table 1: memory for traditional FFT vs our domain-local FFT.
+
+Regenerates all eight rows of the paper's back-of-envelope table; the
+reproduction is exact (same closed-form formulas, GiB units).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import run_table1_memory
+
+
+def test_table1_memory(benchmark):
+    report = benchmark(run_table1_memory)
+    emit(report.render())
+    # exact reproduction: every row matches the paper
+    assert report.max_ratio_deviation() < 1e-6
+    # the headline: ours is below traditional on every configuration
+    ours = [r for r in report.rows if r.label.endswith("ours")]
+    trad = [r for r in report.rows if r.label.endswith("traditional")]
+    for o, t in zip(ours, trad):
+        assert o.measured < t.measured

@@ -1,0 +1,28 @@
+"""E2 — Table 2: maximum allowable sub-domain k per grid size per GPU.
+
+The paper's Table 2 is a memory-capacity result: the largest k whose
+pipeline working set (including cuFFT temporaries) fits the device.  The
+Table-4-calibrated memory model reproduces every row, including the
+non-monotone drop to k <= 64 at N = 2048, and the 8x grid-points headline
+(2048^3 for us vs cuFFT's 1024^3 dense ceiling on the same 32 GB V100).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import dense_gpu_ceiling, run_table2_allowable_k
+
+
+def test_table2_allowable_k(benchmark):
+    report = benchmark(run_table2_allowable_k)
+    emit(report.render())
+    assert report.max_ratio_deviation() < 1e-6  # every row matches the paper
+
+
+def test_dense_ceiling_8x(benchmark):
+    plain, ours = benchmark(dense_gpu_ceiling)
+    emit(
+        f"single V100-32GB ceiling: dense cuFFT N={plain}, ours N={ours} "
+        f"({(ours / plain) ** 3:.0f}x more grid points)"
+    )
+    assert plain == 1024
+    assert ours == 2048

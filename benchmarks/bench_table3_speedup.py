@@ -1,0 +1,60 @@
+"""E3 — Table 3: runtime and speedup, our GPU pipeline vs CPU FFTW.
+
+Two halves:
+
+1. *Modeled* runtimes at the paper's scale (N up to 1024) on the
+   calibrated device models — the shape target is the speedup growing from
+   ~4x at N=128 to ~24x at N=1024.
+2. *Measured* approximation error at laptop scale with the paper's banded
+   sampling schedule — the shape target is the paper's <= 3% band, plus
+   real wall-clock timing of the Python pipeline itself.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.experiments import measure_table3_error, run_table3_speedup
+from repro.analysis.tables import format_table
+from repro.core.local_conv import LocalConvolution
+from repro.core.policy import SamplingPolicy
+from repro.kernels.gaussian import GaussianKernel
+
+
+def test_table3_modeled_speedups(benchmark):
+    rows, report = benchmark(run_table3_speedup)
+    emit(report.render())
+    emit(
+        format_table(
+            ["N", "k", "r", "ours (ms)", "FFTW (ms)", "speedup"],
+            [[r.n, r.k, r.r, r.ours_ms, r.fftw_ms, r.speedup] for r in rows],
+            title="Table 3 (modeled)",
+        )
+    )
+    speedups = [r.speedup for r in rows]
+    assert speedups[0] < speedups[-1]  # grows with N
+    assert 3 < speedups[0] < 6  # ~4x at N=128
+    assert 18 < speedups[-1] < 32  # ~24x at N=1024
+    assert report.max_ratio_deviation() < 0.5
+
+
+def test_table3_measured_error(benchmark):
+    err = benchmark(measure_table3_error, n=128, k=32, r=16, sigma=2.0)
+    emit(f"measured L2 error, N=128 k=32 banded r_far=16: {err:.4f} (paper: <= 0.03)")
+    assert err <= 0.03
+
+
+def test_table3_pipeline_walltime(benchmark, rng=np.random.default_rng(0)):
+    """Real wall-clock of one compressed sub-domain convolution (N=64)."""
+    n, k = 64, 16
+    spec = GaussianKernel(n=n, sigma=2.0).spectrum()
+    sub = 1.0 + 0.1 * rng.standard_normal((k, k, k))
+    policy = SamplingPolicy(r_near=2, r_mid=8, r_far=16, min_cell=2)
+    lc = LocalConvolution(n, spec, policy, batch=n * n)
+
+    result = benchmark(lc.convolve, sub, ((n - k) // 2,) * 3)
+    emit(
+        f"N={n} k={k}: {result.pattern.sample_count} samples, "
+        f"{result.nbytes / 1e6:.2f} MB compressed "
+        f"({8 * n**3 / result.nbytes:.1f}x smaller than dense)"
+    )
+    assert result.pattern.sample_count < n**3 / 4

@@ -1,0 +1,54 @@
+"""E12 — §5.3 trade-off surface: accuracy vs downsampling vs compute time.
+
+"In reality, the accuracy can be tuned to the needs of the application in
+terms of trade-offs between compute time, downsampling, accuracy and
+scalability."  This bench measures the trade-off on the real pipeline and
+extracts the Pareto front in (error, samples).
+"""
+
+from conftest import emit
+
+from repro.analysis.sweeps import error_compression_sweep, pareto_front
+from repro.analysis.tables import format_table
+
+
+def test_tradeoff_sweep(benchmark):
+    points = benchmark(
+        error_compression_sweep, n=48 if False else 64, k=16, sigma=2.0,
+        r_values=(2, 4, 8, 16),
+    )
+    rows = [
+        [
+            p.r_far,
+            "flat" if p.flat else "banded",
+            p.samples,
+            p.compression_ratio,
+            p.l2_error,
+            p.modeled_time_s * 1e3,
+        ]
+        for p in points
+    ]
+    emit(
+        format_table(
+            ["r_far", "schedule", "samples", "compression", "L2 error", "time (ms, modeled)"],
+            rows,
+            title="Accuracy / compression / time trade-off (N=64, k=16)",
+        )
+    )
+    front = pareto_front(points)
+    emit(
+        format_table(
+            ["r_far", "schedule", "samples", "L2 error"],
+            [[p.r_far, "flat" if p.flat else "banded", p.samples, p.l2_error]
+             for p in front],
+            title="Pareto front (error vs samples)",
+        )
+    )
+
+    flat = {p.r_far: p for p in points if p.flat}
+    banded = {p.r_far: p for p in points if not p.flat}
+    # flat error grows with r; banded stays within the paper's band
+    assert flat[2].l2_error <= flat[16].l2_error
+    assert banded[16].l2_error <= 0.03
+    # some banded point dominates a flat point (the schedule earns its keep)
+    assert any(not p.flat for p in front)

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark both
+times its experiment driver (pytest-benchmark) and prints the
+paper-vs-measured comparison table to stdout (``-s`` to see it live;
+captured output is shown for failures).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a report block, flushed, with surrounding whitespace."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()

@@ -1,0 +1,49 @@
+"""Hyperparameter autotuning for a target GPU (paper §5.4).
+
+Sweeps sub-domain size k, downsampling rate r, and batch size B for a
+2048^3 convolution on the paper's two V100 configurations, using the
+Table-4-calibrated memory model and the Table-3-calibrated time model, and
+reports the fastest feasible configuration per device.
+
+Run:  python examples/autotune_gpu.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.cluster.device import V100_16GB, V100_32GB
+from repro.core.autotune import autotune
+
+
+def main() -> None:
+    n = 2048
+    for device in (V100_16GB, V100_32GB):
+        result = autotune(
+            n,
+            device,
+            k_candidates=[8, 16, 32, 64, 128, 256],
+            r_candidates=[32, 64, 128],
+            batch_candidates=[1024, 4096, 16384],
+        )
+        rows = [
+            [e.k, e.r, e.batch, "yes" if e.fits else "no",
+             e.modeled_time_s, e.modeled_memory_gb]
+            for e in result.evaluations
+            if e.batch == 4096  # one batch column for readability
+        ]
+        print(
+            format_table(
+                ["k", "r", "B", "fits", "time (s)", "memory (GiB)"],
+                rows,
+                title=f"N={n} sweep on {device.name} "
+                f"({device.memory_bytes / 2**30:.0f} GiB)",
+            )
+        )
+        if result.best is None:
+            print("  no feasible configuration\n")
+        else:
+            b = result.best
+            print(f"  best: k={b.k} r={b.r} B={b.batch} -> "
+                  f"{b.modeled_time_s:.2f} s, {b.modeled_memory_gb:.1f} GiB\n")
+
+
+if __name__ == "__main__":
+    main()

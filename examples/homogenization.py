@@ -1,0 +1,81 @@
+"""Effective-stiffness homogenization of a composite — the MASSIF payoff.
+
+Extracts the full effective stiffness tensor of a two-phase composite by
+running the six unit load cases, once with the exact Algorithm-1 solver
+and once with the low-communication Algorithm-2 solver, and checks both
+against the Voigt/Reuss bounds.
+
+Run:  python examples/homogenization.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.policy import SamplingPolicy
+from repro.kernels.green_massif import LameParameters
+from repro.massif import (
+    LowCommMassifSolver,
+    MassifSolver,
+    StiffnessField,
+    bounds_respected,
+    homogenize,
+    isotropic_stiffness,
+    reuss_bound,
+    sphere_inclusion,
+    voigt_bound,
+)
+
+
+def main() -> None:
+    n = 16
+    matrix = isotropic_stiffness(LameParameters.from_young_poisson(1.0, 0.3))
+    inclusion = isotropic_stiffness(LameParameters.from_young_poisson(4.0, 0.3))
+    stiffness = StiffnessField(sphere_inclusion(n, radius=5), [matrix, inclusion])
+
+    exact = homogenize(MassifSolver(stiffness, tol=1e-4, max_iter=300))
+    lowcomm = homogenize(
+        LowCommMassifSolver(
+            stiffness,
+            k=8,
+            policy=SamplingPolicy.flat_rate(2),
+            tol=1e-4,
+            max_iter=200,
+            batch=n * n,
+            stall_window=10,
+            raise_on_fail=False,
+        )
+    )
+
+    v = voigt_bound(stiffness)
+    r = reuss_bound(stiffness)
+    labels = ["C11", "C12", "C44"]
+    idx = [(0, 0), (0, 1), (3, 3)]
+    print(
+        format_table(
+            ["component", "Reuss (lower)", "Alg 1", "Alg 2 (r=2)", "Voigt (upper)"],
+            [
+                [
+                    lab,
+                    r[i, j],
+                    exact.c_eff_voigt[i, j],
+                    lowcomm.c_eff_voigt[i, j],
+                    v[i, j],
+                ]
+                for lab, (i, j) in zip(labels, idx)
+            ],
+            title=f"Effective stiffness, {n}^3 two-phase composite "
+            f"(4x contrast, {stiffness.phase_map.mean():.2f} volume fraction)",
+        )
+    )
+    rel = np.abs(
+        lowcomm.c_eff_voigt[0, 0] - exact.c_eff_voigt[0, 0]
+    ) / abs(exact.c_eff_voigt[0, 0])
+    print(f"\nAlg 2 vs Alg 1 on C11: {100 * rel:.2f}% "
+          f"(load-case iterations: {exact.iterations} vs {lowcomm.iterations})")
+    print(f"bounds respected: Alg 1 {bounds_respected(exact.c_eff_voigt, stiffness, 1e-3)}, "
+          f"Alg 2 {bounds_respected(lowcomm.c_eff_voigt, stiffness, 1e-2)}")
+    assert rel < 0.02
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""MASSIF use case: stress-strain simulation of a two-phase composite.
+
+Runs the reference Moulinec-Suquet fixed-point solver (the paper's
+Algorithm 1) and the low-communication solver (Algorithm 2) on a stiff
+spherical inclusion in a soft matrix, under 1% uniaxial macroscopic
+strain, and compares convergence and the homogenized stress.
+
+Run:  python examples/massif_simulation.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.policy import SamplingPolicy
+from repro.kernels.green_massif import LameParameters
+from repro.massif import (
+    LowCommMassifSolver,
+    MassifSolver,
+    StiffnessField,
+    isotropic_stiffness,
+    sphere_inclusion,
+)
+
+
+def main() -> None:
+    n, k = 16, 8
+    # Matrix: E=1, nu=0.3.  Inclusion: 5x stiffer.
+    matrix = isotropic_stiffness(LameParameters.from_young_poisson(1.0, 0.3))
+    inclusion = isotropic_stiffness(LameParameters.from_young_poisson(5.0, 0.3))
+    phase = sphere_inclusion(n, radius=5)
+    stiffness = StiffnessField(phase, [matrix, inclusion])
+    print(f"microstructure: {n}^3 grid, inclusion volume fraction "
+          f"{phase.mean():.3f}")
+
+    macro = np.zeros((3, 3))
+    macro[0, 0] = 0.01  # 1% uniaxial strain
+
+    # Algorithm 1: exact spectral Gamma convolution each iteration.
+    alg1 = MassifSolver(stiffness, tol=1e-4, max_iter=200).solve(macro)
+
+    # Algorithm 2: domain-local compressed convolution, one sparse
+    # exchange per iteration; stall detection stops at the compression
+    # error floor.
+    alg2 = LowCommMassifSolver(
+        stiffness,
+        k=k,
+        policy=SamplingPolicy.flat_rate(2),
+        tol=1e-4,
+        max_iter=200,
+        batch=n * n,
+        stall_window=10,
+        raise_on_fail=False,
+    ).solve(macro)
+
+    eff1 = alg1.effective_stress()[0, 0]
+    eff2 = alg2.effective_stress()[0, 0]
+    print(
+        format_table(
+            ["quantity", "Algorithm 1 (exact)", "Algorithm 2 (compressed r=2)"],
+            [
+                ["iterations", alg1.iterations, alg2.iterations],
+                ["converged / stalled", str(alg1.converged), f"stalled={alg2.stalled}"],
+                ["final residual", alg1.residuals[-1], min(alg2.residuals)],
+                ["effective stress_xx", eff1, eff2],
+            ],
+            title="MASSIF inner loop comparison",
+        )
+    )
+    rel = abs(eff2 - eff1) / abs(eff1)
+    print(f"\nhomogenized stress agreement: {100 * rel:.2f}% "
+          "(the paper's claim: moderate convolution error does not change "
+          "the macroscopic answer)")
+    assert rel < 0.01
+
+
+if __name__ == "__main__":
+    main()

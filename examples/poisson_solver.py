@@ -1,0 +1,53 @@
+"""Poisson equation solve through the low-communication pipeline.
+
+The Poisson Green's function ``1/(4 pi |x|)`` (paper Eq 5) is the
+canonical relative of the MASSIF kernel: real spectrum, monotone decay.
+This example solves ``-lap u = f`` for a pair of opposite charge blobs and
+compares the pipeline's compressed solve against the exact spectral solve.
+
+Run:  python examples/poisson_solver.py
+"""
+
+import numpy as np
+
+from repro.core import LowCommConvolution3D, SamplingPolicy
+from repro.kernels import PoissonKernel
+from repro.util.arrays import l2_relative_error
+
+
+def main() -> None:
+    n, k = 64, 16
+    poisson = PoissonKernel(n=n, length=1.0)
+
+    # Two Gaussian charge blobs of opposite sign (zero net charge, as
+    # periodic boundary conditions require).
+    x = np.arange(n) / n
+    X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+
+    def blob(cx, cy, cz, w=0.06):
+        return np.exp(
+            -((X - cx) ** 2 + (Y - cy) ** 2 + (Z - cz) ** 2) / (2 * w * w)
+        )
+
+    f = blob(0.35, 0.5, 0.5) - blob(0.65, 0.5, 0.5)
+
+    exact = poisson.solve(f)
+
+    policy = SamplingPolicy(r_near=2, r_mid=4, r_far=8, min_cell=2)
+    pipeline = LowCommConvolution3D(n, k, poisson.spectrum(), policy, batch=1024)
+    result = pipeline.run_serial(f)
+
+    err = l2_relative_error(result.approx, exact)
+    print(f"grid {n}^3, {result.num_subdomains} active sub-domains of {k}^3")
+    print(f"potential extrema: exact [{exact.min():+.4e}, {exact.max():+.4e}], "
+          f"approx [{result.approx.min():+.4e}, {result.approx.max():+.4e}]")
+    print(f"compressed to {result.total_samples} samples "
+          f"({result.compression_ratio:.1f}x)")
+    print(f"relative L2 error: {err:.4f}")
+    # The 1/r tail decays more slowly than a Gaussian, so the error budget
+    # is looser than the MASSIF case — still well under 10%.
+    assert err < 0.1
+
+
+if __name__ == "__main__":
+    main()

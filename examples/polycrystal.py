@@ -1,0 +1,62 @@
+"""Polycrystal micromechanics — the application MASSIF exists for.
+
+"Scaling and accelerating MASSIF has a wide range of applications for
+studying micromechanical properties of polycrystals" (§2.2).  This
+example builds a Voronoi polycrystal of cubic-anisotropy grains with
+uniformly random orientations, solves the stress-strain problem under
+uniaxial loading with the accelerated scheme, and reports the grain-scale
+stress heterogeneity a single-crystal model cannot capture.
+
+Run:  python examples/polycrystal.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.massif import EyreMiltonSolver, MassifSolver
+from repro.massif.elasticity import cubic_stiffness
+from repro.massif.orientation import polycrystal_stiffness_field
+
+
+def main() -> None:
+    n, grains = 16, 8
+    # Copper-like cubic constants (units of c44): strong anisotropy,
+    # Zener ratio 2 c44 / (c11 - c12) ≈ 3.2.
+    crystal = cubic_stiffness(c11=2.24, c12=1.60, c44=1.0)
+    rng = np.random.default_rng(42)
+    stiffness = polycrystal_stiffness_field(n, grains, crystal, rng=rng)
+    print(f"polycrystal: {n}^3 grid, {grains} grains, "
+          f"cubic anisotropy (Zener ratio "
+          f"{2 * 1.0 / (2.24 - 1.60):.1f})")
+
+    macro = np.zeros((3, 3))
+    macro[0, 0] = 0.01
+
+    basic = MassifSolver(stiffness, tol=1e-4, max_iter=2000).solve(macro)
+    fast = EyreMiltonSolver(stiffness, tol=1e-4, max_iter=2000).solve(macro)
+    print(f"iterations: basic scheme {basic.iterations}, "
+          f"Eyre-Milton {fast.iterations}")
+
+    # Per-grain stress statistics: the heterogeneity MASSIF resolves.
+    sxx = basic.stress[0, 0]
+    rows = []
+    for g in range(grains):
+        mask = stiffness.phase_map == g
+        rows.append([g, int(mask.sum()), sxx[mask].mean(), sxx[mask].std()])
+    print(
+        format_table(
+            ["grain", "voxels", "<sigma_xx>", "std(sigma_xx)"],
+            rows,
+            title="Grain-resolved axial stress",
+        )
+    )
+    grain_means = np.array([r[2] for r in rows])
+    spread = grain_means.max() - grain_means.min()
+    print(f"\ninter-grain stress spread: {spread:.4f} "
+          f"({100 * spread / sxx.mean():.1f}% of the mean) — the quantity "
+          "polycrystal studies resolve and homogenized models miss")
+    assert spread > 0.001  # anisotropy must show up across orientations
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: low-communication approximate 3D convolution in ~30 lines.
+
+Builds a sharp Gaussian kernel (the paper's proof-of-concept Green's
+function stand-in), convolves a composite-like field through the
+compressed domain-decomposed pipeline, and compares against the exact
+dense FFT convolution.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import LowCommConvolution3D, SamplingPolicy, reference_convolve
+from repro.kernels import GaussianKernel
+from repro.util.arrays import l2_relative_error
+
+
+def main() -> None:
+    n, k = 64, 16  # grid 64^3, sub-domains 16^3
+
+    # 1. A rapidly decaying kernel with a real-valued spectrum — the class
+    #    of kernels the method targets.
+    kernel = GaussianKernel(n=n, sigma=2.0)
+    spectrum = kernel.spectrum()
+
+    # 2. An input field: a block inclusion (think: stiff phase in a matrix).
+    field = np.zeros((n, n, n))
+    field[20:44, 20:44, 20:44] = 1.0
+
+    # 3. The low-communication pipeline: banded octree sampling, the paper's
+    #    r = 2 / 8 / 16 schedule.
+    policy = SamplingPolicy(r_near=2, r_mid=8, r_far=16, min_cell=2)
+    pipeline = LowCommConvolution3D(n, k, spectrum, policy, batch=1024)
+    result = pipeline.run_serial(field)
+
+    # 4. Compare with the exact dense convolution.
+    exact = reference_convolve(field, spectrum)
+    error = l2_relative_error(result.approx, exact)
+
+    print(f"grid {n}^3, sub-domains {k}^3 ({result.num_subdomains} non-zero)")
+    print(f"compressed result: {result.total_samples} samples, "
+          f"{result.compressed_bytes / 1e6:.2f} MB "
+          f"({result.compression_ratio:.1f}x smaller than dense per-domain results)")
+    print(f"relative L2 error vs exact convolution: {error:.4f} "
+          f"(paper's tolerance: 0.03)")
+    assert error < 0.03
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Scaling study on the simulated cluster: where the communication goes.
+
+Reproduces the paper's communication story end to end:
+
+1. Executes a traditional pencil-decomposed distributed convolution and
+   the low-communication pipeline over a simulated 4-rank cluster and
+   reads the traffic ledgers (Figure 1).
+2. Sweeps worker counts through the Eq 1 / Eq 6 cost models.
+3. Shows the heFFTe-style overlap curve saturating like plain MPI FFT.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis.experiments import run_comm_time_sweep, run_fig1_comm_rounds
+from repro.analysis.tables import format_table
+from repro.baselines.heffte_like import scaling_curve
+from repro.cluster.device import XEON_GOLD_6148
+from repro.cluster.network import Link
+
+
+def main() -> None:
+    # -- 1. executed communication patterns (Figure 1) ------------------------
+    res = run_fig1_comm_rounds(n=32, k=8, p=4, r=4)
+    print(
+        format_table(
+            ["pipeline", "all-to-all rounds", "bytes on wire"],
+            [
+                ["traditional (4 = 2 per FFT x 2 FFTs)", res.traditional_rounds,
+                 res.traditional_bytes],
+                ["ours (1 sparse allgather)", res.ours_rounds, res.ours_bytes],
+            ],
+            title="Executed on a simulated 4-rank cluster (N=32, k=8, r=4)",
+        )
+    )
+    print(f"traditional result exact: {res.results_match}; "
+          f"ours approximate, L2 error {res.approx_error:.3f}\n")
+
+    # -- 2. Eq 1 vs Eq 6 over worker counts ------------------------------------
+    rows = run_comm_time_sweep(n=1024, k=128, r=8, p_values=[8, 64, 512, 4096])
+    print(
+        format_table(
+            ["P", "T_Comm,FFT (Eq 1)", "T_ours (Eq 6)", "advantage"],
+            rows,
+            title="Communication time models, N=1024, k=128, r=8",
+        )
+    )
+    print()
+
+    # -- 3. heFFTe-style overlap: later, but same, saturation -------------------
+    curve = scaling_curve(1024, [8, 64, 512, 4096, 32768], XEON_GOLD_6148, Link())
+    print(
+        format_table(
+            ["P", "MPI FFT (s)", "heFFTe-like (s)"],
+            curve,
+            title="Distributed FFT per-transform time (compute/P + exposed comm)",
+        )
+    )
+    print("\nNote how the heFFTe-like curve tracks below plain MPI FFT but "
+          "flattens at large P all the same — the paper's argument for "
+          "removing the all-to-alls instead of optimizing them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — low-communication approximate large-scale 3D convolution.
+
+A from-scratch reproduction of Kulkarni, Kovačević & Franchetti,
+*A framework for low communication approaches for large scale 3D
+convolution* (ICPP Workshops 2022).
+
+Sub-packages
+------------
+- :mod:`repro.fft` — FFT substrate (radix-2/Bluestein, pruned staged 3D).
+- :mod:`repro.cluster` — simulated HPC substrate (devices, memory, network,
+  communicator, cuFFT workspace model).
+- :mod:`repro.octree` — octree-based adaptive multi-resolution sampling.
+- :mod:`repro.kernels` — Green's-function-like convolution kernels.
+- :mod:`repro.core` — the paper's contribution: the low-communication
+  convolution pipeline, cost models, and autotuning.
+- :mod:`repro.massif` — the MASSIF Hooke's-law fixed-point solver use case.
+- :mod:`repro.baselines` — traditional distributed FFT convolution and
+  related baselines.
+- :mod:`repro.fftx` — a miniature FFTX-style plan DSL (paper §6).
+- :mod:`repro.analysis` — experiment drivers and report/table rendering.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    DeviceMemoryError,
+    PlanError,
+    ReproError,
+    ShapeError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "PlanError",
+    "DeviceMemoryError",
+    "CommunicationError",
+    "ConvergenceError",
+]

@@ -1,0 +1,19 @@
+"""Experiment drivers, table rendering, and paper-vs-measured reports."""
+
+from repro.analysis.tables import format_table
+from repro.analysis.report import ComparisonRow, ExperimentReport
+from repro.analysis.sweeps import TradeoffPoint, error_compression_sweep, pareto_front
+from repro.analysis.generate_report import generate_report, write_report
+from repro.analysis import experiments
+
+__all__ = [
+    "format_table",
+    "ComparisonRow",
+    "ExperimentReport",
+    "experiments",
+    "TradeoffPoint",
+    "error_compression_sweep",
+    "pareto_front",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,61 @@
+"""Paper-vs-measured comparison records (the EXPERIMENTS.md backbone)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class ComparisonRow:
+    """One compared quantity: what the paper reports vs what we measure."""
+
+    label: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+
+@dataclass
+class ExperimentReport:
+    """A full experiment's comparison: id, rows, and a shape verdict."""
+
+    experiment_id: str
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, label: str, paper: float, measured: float, unit: str = "") -> None:
+        self.rows.append(ComparisonRow(label, paper, measured, unit))
+
+    def max_ratio_deviation(self) -> float:
+        """Worst |measured/paper - 1| across rows (shape fidelity metric)."""
+        devs = [abs(r.ratio - 1.0) for r in self.rows if r.paper != 0]
+        return max(devs) if devs else 0.0
+
+    def monotonic_agreement(self) -> bool:
+        """Whether measured values order the rows the same way the paper's
+        values do (the 'who wins / where the trend goes' check)."""
+        paper_order = sorted(range(len(self.rows)), key=lambda i: self.rows[i].paper)
+        measured_order = sorted(
+            range(len(self.rows)), key=lambda i: self.rows[i].measured
+        )
+        return paper_order == measured_order
+
+    def render(self) -> str:
+        table = format_table(
+            ["quantity", "paper", "measured", "ratio"],
+            [[r.label, r.paper, r.measured, r.ratio] for r in self.rows],
+            title=f"[{self.experiment_id}] {self.title}",
+        )
+        if self.notes:
+            table += f"\nnotes: {self.notes}"
+        return table

@@ -1,0 +1,101 @@
+"""Parameter sweeps: the accuracy / compression / time trade-off curves.
+
+§5.3: "the accuracy can be tuned to the needs of the application in terms
+of trade-offs between compute time, downsampling, accuracy and
+scalability."  These sweeps measure that trade-off on the real pipeline —
+the error-vs-rate curve and the compression-vs-error Pareto front — and
+model the time axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cost import pruned_conv_time
+from repro.cluster.device import Device, V100_32GB
+from repro.core.local_conv import LocalConvolution
+from repro.core.policy import SamplingPolicy
+from repro.core.reference import reference_subdomain_convolve
+from repro.kernels.gaussian import GaussianKernel
+from repro.octree.interpolate import reconstruct_dense
+from repro.util.arrays import l2_relative_error
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One configuration on the accuracy/compression/time surface."""
+
+    r_far: int
+    flat: bool
+    samples: int
+    compression_ratio: float
+    l2_error: float
+    modeled_time_s: float
+
+
+def error_compression_sweep(
+    n: int = 64,
+    k: int = 16,
+    sigma: float = 2.0,
+    r_values: Sequence[int] = (2, 4, 8, 16),
+    include_flat: bool = True,
+    device: Optional[Device] = None,
+    seed: int = 0,
+) -> List[TradeoffPoint]:
+    """Measure error and compression across rate schedules.
+
+    Runs the *real* pipeline per configuration (banded schedule with
+    ``r_far = r``, plus flat-rate ablations when requested) against the
+    dense reference, and attaches the modeled device time.
+    """
+    device = device or V100_32GB
+    spec = GaussianKernel(n=n, sigma=sigma).spectrum()
+    rng = np.random.default_rng(seed)
+    sub = 1.0 + 0.1 * rng.standard_normal((k, k, k))
+    corner = ((n - k) // 2,) * 3
+    exact = reference_subdomain_convolve(sub, corner, spec)
+
+    points: List[TradeoffPoint] = []
+    for r in r_values:
+        policies = [
+            (SamplingPolicy(r_near=2, r_mid=min(8, max(2, r)), r_far=max(2, r),
+                            min_cell=2), False)
+        ]
+        if include_flat:
+            policies.append((SamplingPolicy.flat_rate(r), True))
+        for policy, flat in policies:
+            lc = LocalConvolution(n, spec, policy, batch=n * n)
+            cf = lc.convolve(sub, corner)
+            err = l2_relative_error(reconstruct_dense(cf), exact)
+            points.append(
+                TradeoffPoint(
+                    r_far=int(r),
+                    flat=flat,
+                    samples=cf.pattern.sample_count,
+                    compression_ratio=n**3 / cf.pattern.sample_count,
+                    l2_error=err,
+                    modeled_time_s=pruned_conv_time(device, n, k, float(r)),
+                )
+            )
+    return points
+
+
+def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """Configurations not dominated in (error, samples): the §5.3 frontier.
+
+    A point dominates another when it has both lower-or-equal error and
+    fewer-or-equal samples (strictly better in at least one).
+    """
+    front: List[TradeoffPoint] = []
+    for p in points:
+        dominated = any(
+            (q.l2_error <= p.l2_error and q.samples <= p.samples)
+            and (q.l2_error < p.l2_error or q.samples < p.samples)
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.samples)

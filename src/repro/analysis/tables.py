@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table (pipe-separated, markdown-compatible)."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    str_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        str_rows.append([_fmt(cell) for cell in row])
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-|-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e4 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)

@@ -1,0 +1,63 @@
+"""heFFTe-style asynchronous-overlap cost model.
+
+heFFTe keeps the same all-to-all transposes as any distributed FFT but
+overlaps packing/communication with computation, so it "can scale to a
+greater number of nodes than MPI FFT, but eventually also reaches a
+scalability limitation at a larger node count" (paper §2.1).  The model:
+the compute term shrinks like 1/P while the all-to-all term is only
+partially hidden — past the crossover, communication dominates again and
+the curve flattens exactly like the plain MPI FFT, just later.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cluster.cost import comm_time_traditional_fft, fft_stage_flops
+from repro.cluster.device import Device
+from repro.cluster.network import Link
+from repro.errors import ConfigurationError
+
+
+def heffte_comm_time(
+    n: int,
+    p: int,
+    link: Link,
+    overlap: float = 0.7,
+    stages: int = 2,
+) -> float:
+    """Effective (exposed) all-to-all time with fraction ``overlap`` hidden."""
+    if not 0.0 <= overlap < 1.0:
+        raise ConfigurationError(f"overlap must be in [0, 1), got {overlap}")
+    raw = comm_time_traditional_fft(n, p, link, stages=stages, include_latency=True)
+    return (1.0 - overlap) * raw
+
+
+def fft_compute_time(n: int, p: int, device: Device) -> float:
+    """Per-node compute time of one distributed 3D FFT (work / P)."""
+    flops = 3 * fft_stage_flops(n * n, n)
+    return device.fft_time(flops / p, in_flight_points=float(n**3 / p))
+
+
+def scaling_curve(
+    n: int,
+    p_values: List[int],
+    device: Device,
+    link: Link,
+    overlap: float = 0.7,
+) -> List[Tuple[int, float, float]]:
+    """``(P, t_mpi_fft, t_heffte)`` per worker count — the §2.1 story.
+
+    Both curves are compute/P plus all-to-all; heFFTe hides a fraction of
+    the communication.  Both flatten once communication dominates; heFFTe
+    simply flattens later.
+    """
+    rows = []
+    for p in p_values:
+        compute = fft_compute_time(n, p, device)
+        t_mpi = compute + comm_time_traditional_fft(
+            n, p, link, stages=2, include_latency=True
+        )
+        t_heffte = compute + heffte_comm_time(n, p, link, overlap=overlap)
+        rows.append((p, t_mpi, t_heffte))
+    return rows

@@ -1,0 +1,71 @@
+"""Plain dense cuFFT-style single-GPU convolution (the Table 2 comparator).
+
+"This is 8x points more than traditional cuFFT, which processes up to
+1024 x 1024 x 1024 grids without compression" (§5.1).  The dense
+convolution keeps the half-complex R2C spectrum in device memory plus a
+cuFFT workspace of equal size — ``2 * 16 * (N^3/2 + N^2)`` bytes — which
+caps a 32 GB V100 at N = 1024 exactly as the paper states; our compressed
+pipeline reaches 2048 on the same device (Table 2 benchmark).
+
+:func:`run_dense_gpu_convolution` also *executes* the convolution on small
+grids under a :class:`~repro.cluster.memory.MemoryTracker`, so the model
+and the real allocation sequence are tested against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.device import Device
+from repro.cluster.memory import MemoryTracker
+from repro.core.reference import reference_convolve
+from repro.errors import ShapeError
+from repro.util.validation import check_positive_int
+
+COMPLEX_BYTES = 16
+REAL_BYTES = 8
+
+
+def dense_gpu_conv_bytes(n: int) -> int:
+    """Device bytes for a dense in-place R2C convolution on an ``n^3`` grid.
+
+    Half-complex spectrum buffer (in-place over the padded real input) plus
+    an equal-size cuFFT workspace; the kernel spectrum is evaluated on the
+    fly (Green's-function closed form) and costs no standing buffer.
+    """
+    check_positive_int(n, "n")
+    half_complex = COMPLEX_BYTES * (n * n * (n // 2 + 1))
+    workspace = half_complex
+    return half_complex + workspace
+
+
+def max_dense_grid(device: Device, candidates=(128, 256, 512, 1024, 2048, 4096, 8192)) -> int:
+    """Largest power-of-two grid whose dense convolution fits ``device``."""
+    best = 0
+    for n in candidates:
+        if dense_gpu_conv_bytes(n) <= device.memory_bytes:
+            best = max(best, n)
+    return best
+
+
+def run_dense_gpu_convolution(
+    field: np.ndarray,
+    kernel_spectrum: np.ndarray,
+    memory: Optional[MemoryTracker] = None,
+) -> np.ndarray:
+    """Execute the dense convolution, charging the modeled buffers.
+
+    Raises :class:`~repro.errors.DeviceMemoryError` before computing if the
+    working set exceeds the tracker's capacity — the same failure point as
+    a real ``cudaMalloc`` in the cuFFT plan.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 3 or field.shape[0] != field.shape[1] or field.shape[0] != field.shape[2]:
+        raise ShapeError(f"field must be a cube, got {field.shape}")
+    n = field.shape[0]
+    if memory is not None:
+        with memory.allocate("dense_conv_working_set", dense_gpu_conv_bytes(n)):
+            return reference_convolve(field, kernel_spectrum)
+    return reference_convolve(field, kernel_spectrum)

@@ -1,0 +1,172 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro table1          # Table 1 memory comparison
+    python -m repro table2          # Table 2 allowable k
+    python -m repro table3          # Table 3 modeled speedups + measured error
+    python -m repro table4          # Table 4 estimated vs actual memory
+    python -m repro fig1            # Figure 1 communication rounds
+    python -m repro fig3            # Figure 3 octree pattern
+    python -m repro eq6             # Eq 1 vs Eq 6 sweep
+    python -m repro batch           # batch-parameter sweep (§5.4)
+    python -m repro massif          # Algorithm 1 vs 2 convergence (§5.3)
+    python -m repro commshift       # §2.1 compute-to-communication story
+    python -m repro all             # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.analysis import experiments as ex
+from repro.analysis.tables import format_table
+from repro.cluster.trace import gpu_acceleration_story
+
+
+def _table1() -> None:
+    print(ex.run_table1_memory().render())
+
+
+def _table2() -> None:
+    print(ex.run_table2_allowable_k().render())
+    plain, ours = ex.dense_gpu_ceiling()
+    print(f"\nsingle-GPU ceiling: dense cuFFT N={plain}, ours N={ours} "
+          f"({(ours / plain) ** 3:.0f}x more points)")
+
+
+def _table3() -> None:
+    rows, report = ex.run_table3_speedup()
+    print(report.render())
+    print()
+    print(
+        format_table(
+            ["N", "k", "r", "ours (ms)", "FFTW (ms)", "speedup"],
+            [[r.n, r.k, r.r, r.ours_ms, r.fftw_ms, r.speedup] for r in rows],
+            title="Table 3 (modeled)",
+        )
+    )
+    err = ex.measure_table3_error()
+    print(f"\nmeasured L2 error (N=128, k=32, banded): {err:.4f} (paper <= 0.03)")
+
+
+def _table4() -> None:
+    print(ex.run_table4_memory().render())
+
+
+def _fig1() -> None:
+    res = ex.run_fig1_comm_rounds()
+    print(
+        format_table(
+            ["pipeline", "all-to-all rounds", "bytes"],
+            [
+                ["traditional (pencil)", res.traditional_rounds, res.traditional_bytes],
+                ["ours", res.ours_rounds, res.ours_bytes],
+            ],
+            title="Figure 1",
+        )
+    )
+
+
+def _fig3() -> None:
+    res = ex.run_fig3_octree()
+    print(
+        format_table(
+            ["rate", "samples"],
+            sorted(res.rate_histogram.items()),
+            title=f"Figure 3: {res.num_cells} cells, {res.compression_ratio:.1f}x",
+        )
+    )
+    print(res.ascii_slice)
+
+
+def _eq6() -> None:
+    print(
+        format_table(
+            ["P", "T_fft (s)", "T_ours (s)", "advantage"],
+            ex.run_comm_time_sweep(),
+            title="Eq 1 vs Eq 6",
+        )
+    )
+
+
+def _batch() -> None:
+    print(ex.run_batch_sweep().render())
+
+
+def _massif() -> None:
+    res = ex.run_massif_convergence()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["Alg 1 iterations", res.alg1_iterations],
+                ["Alg 2 iterations", res.alg2_iterations],
+                ["Alg 2 stalled", res.alg2_stalled],
+                ["best residual", res.alg2_best_residual],
+                ["effective stress error", res.effective_stress_error],
+                ["strain field error", res.strain_field_error],
+            ],
+            title="MASSIF Alg 1 vs Alg 2",
+        )
+    )
+
+
+def _report() -> None:
+    from repro.analysis.generate_report import generate_report
+
+    print(generate_report(fast=True))
+
+
+def _commshift() -> None:
+    rows = gpu_acceleration_story()
+    print(
+        format_table(
+            ["configuration", "communication fraction"],
+            rows,
+            title="§2.1: why GPUs make it worse",
+        )
+    )
+
+
+COMMANDS: Dict[str, Callable[[], None]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "fig1": _fig1,
+    "fig3": _fig3,
+    "eq6": _eq6,
+    "batch": _batch,
+    "massif": _massif,
+    "commshift": _commshift,
+    "report": _report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from the low-communication "
+        "3D convolution paper (ICPP Workshops '22).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which experiment to run",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in sorted(COMMANDS):
+            print(f"\n================ {name} ================")
+            COMMANDS[name]()
+    else:
+        COMMANDS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""In-process SPMD phase runner.
+
+Real MPI programs interleave local compute and collectives per rank; running
+them in one process requires either threads or a phase discipline.  This
+library uses the *phase* discipline: algorithms are sequences of
+
+1. ``spmd_phase(ranks, fn)`` — run ``fn(rank_state)`` for every rank,
+   collecting per-rank results (local compute, no communication), then
+2. a collective on :class:`~repro.cluster.comm.SimulatedComm` that takes
+   the per-rank outputs and redistributes them.
+
+This executes exactly the data movement of the bulk-synchronous MPI
+equivalent while staying single-threaded and deterministic.  Failure
+injection: a rank marked failed raises at its next phase, mirroring a
+process crash between collectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.errors import CommunicationError, RankFailure
+
+
+@dataclass
+class RankState:
+    """Per-rank mutable state: the rank id plus a free-form namespace."""
+
+    rank: int
+    size: int
+    data: Dict[str, Any] = field(default_factory=dict)
+    failed: bool = field(default=False)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.data[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.data
+
+
+class RankSet:
+    """A fixed set of ranks participating in an SPMD computation."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise CommunicationError(f"need >= 1 rank, got {size}")
+        self.size = size
+        self.ranks: List[RankState] = [RankState(rank=r, size=size) for r in range(size)]
+
+    def fail_rank(self, rank: int) -> None:
+        """Mark a rank as crashed; its next phase raises RankFailure."""
+        if not 0 <= rank < self.size:
+            raise CommunicationError(f"rank {rank} out of range")
+        self.ranks[rank].failed = True
+
+    def __iter__(self):
+        return iter(self.ranks)
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def spmd_phase(
+    ranks: RankSet, fn: Callable[[RankState], Any], name: str = "phase"
+) -> List[Any]:
+    """Run ``fn`` once per rank (local compute phase); return per-rank results.
+
+    Raises :class:`RankFailure` if any participating rank has been marked
+    failed — the moment a real MPI job would hang or abort.
+    """
+    results: List[Any] = []
+    for state in ranks:
+        if state.failed:
+            raise RankFailure(f"rank {state.rank} failed before {name}")
+        results.append(fn(state))
+    return results

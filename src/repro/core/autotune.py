@@ -1,0 +1,109 @@
+"""Hyperparameter selection (paper §5.4 "Selecting hyperparameters").
+
+"A sweep search for the right downsampling rate, domain size and desired
+accuracy can be performed under known application requirements."  This
+module performs that sweep against the cost models: for each candidate
+``(k, r, B)`` it checks the memory model against the device capacity
+(Table 2 logic), evaluates the modeled runtime (Table 3 logic), and an
+optional error oracle (e.g. a measured small-scale error), returning the
+fastest feasible configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cluster.cost import pruned_conv_time
+from repro.cluster.cufft_model import CufftWorkspaceModel
+from repro.cluster.device import Device
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One swept configuration with its modeled properties."""
+
+    k: int
+    r: int
+    batch: int
+    fits: bool
+    modeled_time_s: float
+    modeled_memory_gb: float
+    error: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Best configuration plus the full sweep record."""
+
+    best: Optional[CandidateEvaluation]
+    evaluations: Tuple[CandidateEvaluation, ...]
+
+    def feasible(self) -> List[CandidateEvaluation]:
+        return [e for e in self.evaluations if e.fits]
+
+
+def autotune(
+    n: int,
+    device: Device,
+    k_candidates: Sequence[int],
+    r_candidates: Sequence[int],
+    batch_candidates: Sequence[int] = (1024,),
+    error_oracle: Optional[Callable[[int, int], float]] = None,
+    error_budget: float = 0.03,
+    memory_model: Optional[CufftWorkspaceModel] = None,
+) -> AutotuneResult:
+    """Sweep ``(k, r, B)`` and return the fastest feasible configuration.
+
+    Parameters
+    ----------
+    n:
+        Grid size.
+    device:
+        Target device (capacity + rates).
+    k_candidates, r_candidates, batch_candidates:
+        Sweep space; ``k`` must divide ``n``.
+    error_oracle:
+        Optional ``(k, r) -> relative L2 error`` (measured or modeled);
+        configurations above ``error_budget`` are infeasible.
+    error_budget:
+        The paper's tolerance (3% for MASSIF, §5.3).
+    memory_model:
+        The cuFFT workspace model; defaults to the Table-4-calibrated one.
+    """
+    check_positive_int(n, "n")
+    if not k_candidates or not r_candidates or not batch_candidates:
+        raise ConfigurationError("candidate lists must be non-empty")
+    model = memory_model or CufftWorkspaceModel()
+
+    evaluations: List[CandidateEvaluation] = []
+    for k in k_candidates:
+        check_positive_int(k, "k")
+        if k > n or n % k != 0:
+            continue
+        for r in r_candidates:
+            check_positive_int(r, "r")
+            mem_gb = model.actual_gb(n, k, r)
+            fits = model.fits(n, k, r, device.memory_bytes)
+            error = error_oracle(k, r) if error_oracle is not None else None
+            if error is not None and error > error_budget:
+                fits = False
+            for batch in batch_candidates:
+                t = pruned_conv_time(device, n, k, r, batch=batch)
+                evaluations.append(
+                    CandidateEvaluation(
+                        k=k,
+                        r=r,
+                        batch=int(batch),
+                        fits=fits,
+                        modeled_time_s=t,
+                        modeled_memory_gb=mem_gb,
+                        error=error,
+                    )
+                )
+
+    feasible = [e for e in evaluations if e.fits]
+    best = min(feasible, key=lambda e: e.modeled_time_s) if feasible else None
+    return AutotuneResult(best=best, evaluations=tuple(evaluations))

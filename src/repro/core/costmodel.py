@@ -1,0 +1,128 @@
+"""Memory-footprint and communication cost models (Table 1, Eqs 1 & 6).
+
+Table 1's back-of-envelope: a traditional FFT stores the convolution
+result in full resolution — ``8 * N^3`` bytes — while the domain-local
+method's working set is the ``N x N x k`` slab — ``8 * N * N * k`` bytes
+(the paper's stated "memory requirement on a single worker for
+double-precision convolution").  :func:`table1_rows` regenerates the
+table; :class:`MemoryFootprint` gives the detailed breakdown the
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cluster.cost import sparse_sample_count
+from repro.errors import ConfigurationError
+from repro.octree.cell import METADATA_INTS_PER_CELL
+from repro.octree.sampling import SamplingPattern
+from repro.util.validation import check_positive_int
+
+REAL_BYTES = 8
+COMPLEX_BYTES = 16
+GIB = float(2**30)
+
+#: The (N, k) combinations of the paper's Table 1, in row order.
+TABLE1_CONFIGS: Tuple[Tuple[int, int], ...] = (
+    (1024, 128),
+    (1024, 512),
+    (2048, 128),
+    (2048, 512),
+    (4096, 128),
+    (4096, 512),
+    (8192, 64),
+    (8192, 128),
+)
+
+
+def memory_traditional_fft_bytes(n: int) -> int:
+    """Full-resolution double-precision result: ``8 * N^3`` bytes."""
+    check_positive_int(n, "n")
+    return REAL_BYTES * n**3
+
+
+def memory_local_fft_bytes(n: int, k: int) -> int:
+    """Domain-local working set: ``8 * N * N * k`` bytes (paper §3.2)."""
+    check_positive_int(n, "n")
+    check_positive_int(k, "k")
+    if k > n:
+        raise ConfigurationError(f"k={k} exceeds n={n}")
+    return REAL_BYTES * n * n * k
+
+
+def table1_rows() -> List[Tuple[int, int, float, float]]:
+    """Regenerate Table 1: ``(N, k, traditional GiB, ours GiB)`` rows."""
+    rows = []
+    for n, k in TABLE1_CONFIGS:
+        rows.append(
+            (
+                n,
+                k,
+                memory_traditional_fft_bytes(n) / GIB,
+                memory_local_fft_bytes(n, k) / GIB,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Detailed footprint of one sub-domain convolution's working set."""
+
+    n: int
+    k: int
+    slab_bytes: int
+    z_sampled_bytes: int
+    y_sampled_bytes: int
+    samples_bytes: int
+    metadata_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.slab_bytes
+            + self.z_sampled_bytes
+            + self.y_sampled_bytes
+            + self.samples_bytes
+            + self.metadata_bytes
+        )
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / GIB
+
+    @classmethod
+    def from_pattern(cls, pattern: SamplingPattern, k: int) -> "MemoryFootprint":
+        """Exact footprint for an actual sampling pattern."""
+        n = pattern.n
+        sz = len(pattern.axis_coordinate_set(2))
+        sy = len(pattern.axis_coordinate_set(1))
+        return cls(
+            n=n,
+            k=k,
+            slab_bytes=COMPLEX_BYTES * n * n * k,
+            z_sampled_bytes=COMPLEX_BYTES * n * n * sz,
+            y_sampled_bytes=COMPLEX_BYTES * n * sy * sz,
+            samples_bytes=REAL_BYTES * pattern.sample_count,
+            metadata_bytes=4 * METADATA_INTS_PER_CELL * pattern.num_cells,
+        )
+
+    @classmethod
+    def from_flat_rate(cls, n: int, k: int, r: int) -> "MemoryFootprint":
+        """Closed-form footprint under a flat exterior rate ``r``."""
+        check_positive_int(r, "r")
+        import math
+
+        axis = k + math.ceil((n - k) / r)
+        samples = k**3 + sparse_sample_count(n, k, r)
+        return cls(
+            n=n,
+            k=k,
+            slab_bytes=COMPLEX_BYTES * n * n * k,
+            z_sampled_bytes=COMPLEX_BYTES * n * n * axis,
+            y_sampled_bytes=COMPLEX_BYTES * n * axis * axis,
+            samples_bytes=int(REAL_BYTES * samples),
+            metadata_bytes=4 * METADATA_INTS_PER_CELL * 64,  # O(tens) of cells
+        )

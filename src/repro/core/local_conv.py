@@ -1,0 +1,216 @@
+"""Local FFT-based convolution with in-pipeline compression (paper Step 2-3).
+
+This is the operation Fig 2 draws inside one worker:
+
+1. the ``k^3`` sub-domain is transformed to an ``N x N x k`` slab (2D
+   pruned-input FFT; zero padding stays implicit in the 1D calls);
+2. the slab's z-pencils are processed in batches of ``B``: forward 1D FFT
+   (pruned input), pointwise multiply with the kernel spectrum pencil
+   (cuFFT-callback role), and a *pruned-output* inverse that evaluates the
+   result only at the octree-retained z coordinates — the compression
+   callback, so the ``N^3`` cube never materializes;
+3. the remaining inverse y and x stages are equally pruned to the
+   octree-retained coordinate sets, the intermediate shrinking each stage;
+4. the octree samples are gathered from the final box into a
+   :class:`~repro.octree.compress.CompressedField`.
+
+An optional :class:`~repro.cluster.memory.MemoryTracker` is charged for
+every buffer, so running this on a simulated GPU reproduces the
+memory-capacity behaviour of Tables 2 and 4 with the *real* allocation
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.memory import MemoryTracker
+from repro.errors import ConfigurationError, ShapeError
+from repro.fft.backend import Backend, get_backend
+from repro.fft.pruned import (
+    partial_idft,
+    pencil_batches,
+    slab_from_subcube,
+    zstage_batch,
+)
+from repro.core.policy import SamplingPolicy
+from repro.octree.compress import CompressedField
+from repro.octree.sampling import SamplingPattern
+from repro.util.validation import check_positive_int
+
+COMPLEX_BYTES = 16
+
+#: Kernel spectrum: either the dense ``n^3`` array or a callable
+#: ``(ix, iy) -> (len(ix), n)`` returning spectrum pencils on the fly
+#: (the paper's "computed on-the-fly during convolution" mode).
+KernelSpectrum = Union[np.ndarray, Callable[[np.ndarray, np.ndarray], np.ndarray]]
+
+
+class LocalConvolution:
+    """Pruned, compressed convolution of one sub-domain on one worker.
+
+    Parameters
+    ----------
+    n:
+        Global grid edge.
+    kernel_spectrum:
+        Dense ``n^3`` spectrum or an on-the-fly pencil callable.
+    policy:
+        Compression hyperparameters (r-schedule).
+    backend:
+        FFT backend name.
+    batch:
+        z-pencil batch size ``B`` (paper §5.4); defaults to ``n``.
+    memory:
+        Optional device memory tracker to charge allocations against.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        kernel_spectrum: KernelSpectrum,
+        policy: SamplingPolicy,
+        backend: str | Backend = "numpy",
+        batch: Optional[int] = None,
+        memory: Optional[MemoryTracker] = None,
+    ):
+        self.n = check_positive_int(n, "n")
+        self.policy = policy
+        self.backend = get_backend(backend)
+        self.batch = check_positive_int(batch, "batch") if batch else n
+        self.memory = memory
+        if callable(kernel_spectrum):
+            self._kernel_fn = kernel_spectrum
+        else:
+            spec = np.asarray(kernel_spectrum)
+            if spec.shape != (n, n, n):
+                raise ShapeError(
+                    f"kernel spectrum shape {spec.shape} != ({n},)*3"
+                )
+            self._kernel_fn = self._make_array_kernel_fn(spec)
+
+    @staticmethod
+    def _make_array_kernel_fn(
+        spec: np.ndarray,
+    ) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+        def pencils(ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+            return spec[ix, iy, :]
+
+        return pencils
+
+    # -- public API -------------------------------------------------------------
+    def convolve(
+        self,
+        sub: np.ndarray,
+        corner: Sequence[int],
+        pattern: Optional[SamplingPattern] = None,
+    ) -> CompressedField:
+        """Convolve ``sub`` (at ``corner``) with the kernel; return the
+        compressed result over the full grid.
+
+        ``sub`` may be a rectangular box (the paper's "irregular
+        partitions"); a matching ``pattern`` (e.g. from
+        :func:`~repro.octree.sampling.build_box_pattern`) must then be
+        supplied, since the policy's cubic band schedule does not apply.
+        """
+        sub, corner = self._validate(sub, corner)
+        k = sub.shape[0]
+        if pattern is None:
+            if not (sub.shape[0] == sub.shape[1] == sub.shape[2]):
+                raise ConfigurationError(
+                    "rectangular sub-domains need an explicit sampling "
+                    "pattern (see build_box_pattern)"
+                )
+            pattern = self.policy.pattern_for(self.n, k, corner)
+        coords_x = pattern.axis_coordinate_set(0)
+        coords_y = pattern.axis_coordinate_set(1)
+        coords_z = pattern.axis_coordinate_set(2)
+
+        box = self._staged_convolve(sub, corner, coords_x, coords_y, coords_z)
+
+        # Gather the octree samples out of the (|X|, |Y|, |Z|) box.
+        sc = pattern.sample_coords
+        ax = np.searchsorted(coords_x, sc[:, 0])
+        ay = np.searchsorted(coords_y, sc[:, 1])
+        az = np.searchsorted(coords_z, sc[:, 2])
+        values = box[ax, ay, az]
+        return CompressedField(pattern=pattern, values=np.real(values))
+
+    def convolve_dense_debug(
+        self, sub: np.ndarray, corner: Sequence[int]
+    ) -> np.ndarray:
+        """Uncompressed local convolution (full ``n^3`` result).
+
+        Validation-only: this is exactly the dense cube the production path
+        avoids materializing.
+        """
+        sub, corner = self._validate(sub, corner)
+        full = np.arange(self.n, dtype=np.intp)
+        box = self._staged_convolve(sub, corner, full, full, full)
+        return np.real(box)
+
+    # -- stages -------------------------------------------------------------
+    def _staged_convolve(
+        self,
+        sub: np.ndarray,
+        corner: Tuple[int, int, int],
+        coords_x: np.ndarray,
+        coords_y: np.ndarray,
+        coords_z: np.ndarray,
+    ) -> np.ndarray:
+        n = self.n
+        k = sub.shape[2]  # slab keeps the z extent spatial
+        cz = corner[2]
+
+        with self._charge("slab", COMPLEX_BYTES * n * n * k):
+            slab = slab_from_subcube(sub, corner, n, backend=self.backend)
+            flat = slab.reshape(n * n, k)
+
+            sz = len(coords_z)
+            with self._charge("z_sampled", COMPLEX_BYTES * n * n * sz):
+                zred = np.empty((n * n, sz), dtype=np.complex128)
+                ix_all, iy_all = np.divmod(np.arange(n * n, dtype=np.intp), n)
+                with self._charge("pencil_batch", COMPLEX_BYTES * self.batch * n * 2):
+                    for sl in pencil_batches(n * n, self.batch):
+                        spec = zstage_batch(flat[sl], cz, n, backend=self.backend)
+                        spec *= self._kernel_fn(ix_all[sl], iy_all[sl])
+                        zred[sl] = partial_idft(spec, coords_z, axis=1)
+
+                zred = zred.reshape(n, n, sz)
+                # Inverse y stage, pruned to the retained y coordinates.
+                sy = len(coords_y)
+                with self._charge("y_sampled", COMPLEX_BYTES * n * sy * sz):
+                    yred = partial_idft(zred, coords_y, axis=1)
+                    # Inverse x stage, pruned to the retained x coordinates.
+                    sx = len(coords_x)
+                    with self._charge("x_sampled", COMPLEX_BYTES * sx * sy * sz):
+                        box = partial_idft(yred, coords_x, axis=0)
+        return box
+
+    # -- helpers -------------------------------------------------------------
+    def _validate(
+        self, sub: np.ndarray, corner: Sequence[int]
+    ) -> Tuple[np.ndarray, Tuple[int, int, int]]:
+        sub = np.asarray(sub, dtype=np.float64)
+        if sub.ndim != 3:
+            raise ShapeError(f"sub-domain must be rank 3, got shape {sub.shape}")
+        corner = tuple(int(c) for c in corner)
+        if len(corner) != 3:
+            raise ConfigurationError(f"corner must have 3 components, got {corner}")
+        for c, extent in zip(corner, sub.shape):
+            if c < 0 or c + extent > self.n:
+                raise ShapeError(
+                    f"sub-domain of shape {sub.shape} at corner {corner} "
+                    f"outside grid of size {self.n}"
+                )
+        return sub, corner
+
+    def _charge(self, name: str, nbytes: int):
+        """Charge an allocation on the tracker (no-op context if untracked)."""
+        if self.memory is not None:
+            return self.memory.allocate(name, nbytes)
+        from contextlib import nullcontext
+
+        return nullcontext()

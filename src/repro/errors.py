@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing configuration mistakes (:class:`ConfigurationError`), resource
+exhaustion on simulated devices (:class:`DeviceMemoryError`), and protocol
+misuse of the simulated communicator (:class:`CommunicationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter, shape, or policy was supplied by the caller."""
+
+
+class ShapeError(ConfigurationError):
+    """Array shape incompatible with the requested operation."""
+
+
+class PlanError(ReproError):
+    """An FFT/FFTX plan was constructed or executed inconsistently."""
+
+
+class DeviceMemoryError(ReproError, MemoryError):
+    """A simulated device ran out of memory (the paper's OOM boundary).
+
+    Raised by :class:`repro.cluster.memory.MemoryTracker` when an allocation
+    would exceed the device capacity.  This is the mechanism behind Table 2
+    (maximum allowable sub-domain size ``k`` per grid size ``N``).
+    """
+
+    def __init__(self, message: str, *, requested: int = 0, available: int = 0):
+        super().__init__(message)
+        #: bytes requested by the failing allocation
+        self.requested = int(requested)
+        #: bytes that were still free on the device
+        self.available = int(available)
+
+
+class CommunicationError(ReproError):
+    """Misuse of the simulated communicator (rank mismatch, dead rank...)."""
+
+
+class RankFailure(CommunicationError):
+    """A simulated rank died mid-collective (failure-injection testing)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, message: str, *, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = int(iterations)
+        self.residual = float(residual)

@@ -1,0 +1,58 @@
+"""FFT substrate: from-scratch transforms plus a numpy-backed fast path.
+
+The paper's method never computes a distributed FFT; it computes *local*
+staged FFTs whose stage boundaries host callbacks (padding on the way in,
+compression on the way out).  This package provides:
+
+- :mod:`repro.fft.radix2` / :mod:`repro.fft.bluestein` — a complete 1D
+  complex FFT for any length, written from scratch (iterative radix-2 with
+  Bluestein's chirp-z fallback), vectorized over batch dimensions.
+- :mod:`repro.fft.real` — real-input transforms (the Green's function has a
+  real-valued spectrum, so real transforms halve the working set).
+- :mod:`repro.fft.fftn` — N-D transforms as sequences of 1D stage sweeps
+  over any registered backend.
+- :mod:`repro.fft.pruned` — the pruned-input staged 3D transform of the
+  paper's Step 2: a k^3 cube is transformed to an N x N x k slab (x,y
+  stages) and then pencil-batched in z, never materializing the padded
+  input.
+- :mod:`repro.fft.backend` — backend registry (``"native"`` = ours,
+  ``"numpy"`` = :mod:`numpy.fft`); everything downstream is
+  backend-agnostic.
+"""
+
+from repro.fft.backend import available_backends, get_backend, register_backend
+from repro.fft.dft import fft1d, ifft1d
+from repro.fft.fftn import fft3, fftn, ifft3, ifftn
+from repro.fft.plan import FFTPlan, plan_fft3, plan_pruned_conv
+from repro.fft.pruned import (
+    pruned_fft3,
+    pruned_fft_slab,
+    pencil_batches,
+    slab_from_subcube,
+)
+from repro.fft.real import irfft1d, rfft1d
+from repro.fft.realconv import half_spectrum, half_spectrum_bytes, rfft_convolve
+
+__all__ = [
+    "rfft_convolve",
+    "half_spectrum",
+    "half_spectrum_bytes",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "fft1d",
+    "ifft1d",
+    "rfft1d",
+    "irfft1d",
+    "fftn",
+    "ifftn",
+    "fft3",
+    "ifft3",
+    "pruned_fft3",
+    "pruned_fft_slab",
+    "pencil_batches",
+    "slab_from_subcube",
+    "FFTPlan",
+    "plan_fft3",
+    "plan_pruned_conv",
+]

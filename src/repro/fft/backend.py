@@ -1,0 +1,81 @@
+"""FFT backend registry.
+
+A *backend* is a pair of 1D transform callables ``(fft, ifft)`` taking
+``(array, axis)``.  Everything above this layer (N-D transforms, pruned
+staged transforms, the convolution pipeline, the FFTX executor) is written
+against the backend interface, so the from-scratch native transforms and
+:mod:`numpy.fft` are interchangeable — the reproduction's analogue of the
+paper swapping FFTW / cuFFT / FFTX underneath one algorithm.
+
+Backends:
+
+- ``"native"`` — the library's own radix-2/Bluestein transforms (default
+  for tests that validate the substrate itself).
+- ``"numpy"``  — :func:`numpy.fft.fft` / :func:`numpy.fft.ifft` (default
+  for large benchmarks; the *algorithm* above it is identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fft.dft import fft1d, ifft1d
+
+TransformFn = Callable[[np.ndarray, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A named pair of 1D forward/inverse transforms."""
+
+    name: str
+    fft: TransformFn
+    ifft: TransformFn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Backend({self.name!r})"
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(name: str, fft: TransformFn, ifft: TransformFn) -> Backend:
+    """Register (or replace) a backend under ``name`` and return it."""
+    if not name:
+        raise ConfigurationError("backend name must be non-empty")
+    backend = Backend(name=name, fft=fft, ifft=ifft)
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str = "numpy") -> Backend:
+    """Look up a backend by name (accepts a Backend instance pass-through)."""
+    if isinstance(name, Backend):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown FFT backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _np_fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    return np.fft.fft(x, axis=axis)
+
+
+def _np_ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    return np.fft.ifft(x, axis=axis)
+
+
+register_backend("native", fft1d, ifft1d)
+register_backend("numpy", _np_fft, _np_ifft)

@@ -1,0 +1,38 @@
+"""Bit-reversal permutation tables for the iterative radix-2 FFT.
+
+Tables are cached per length: the permutation for length ``n`` costs
+``O(n log n)`` to build once and is then a single fancy-index per transform,
+which is the vectorized idiom (no per-element Python loop at call time).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.util.validation import check_power_of_two
+
+
+@lru_cache(maxsize=64)
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Indices ``p`` such that ``x[p]`` is ``x`` in bit-reversed order.
+
+    ``n`` must be a power of two.  Built by the classic doubling recurrence:
+    the table for ``2n`` interleaves ``2*table(n)`` and ``2*table(n)+1``.
+    """
+    n = check_power_of_two(n, "n")
+    perm = np.zeros(1, dtype=np.intp)
+    m = 1
+    while m < n:
+        perm = np.concatenate([2 * perm, 2 * perm + 1])
+        m *= 2
+    perm.setflags(write=False)
+    return perm
+
+
+def bit_reverse_indices(bits: int) -> np.ndarray:
+    """Bit-reversal table expressed in terms of the number of bits."""
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    return bit_reversal_permutation(1 << bits)

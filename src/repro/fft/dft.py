@@ -1,0 +1,41 @@
+"""1D FFT dispatch: radix-2 for power-of-two lengths, Bluestein otherwise.
+
+These are the library's *native* transforms; :mod:`repro.fft.backend`
+exposes them next to :mod:`numpy.fft` behind a common interface.
+Conventions match numpy: forward unnormalized, inverse scaled by ``1/n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.bluestein import fft_bluestein
+from repro.fft.radix2 import fft_pow2
+from repro.util.validation import check_positive_int
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def fft1d(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward DFT along ``axis`` (any length), numpy conventions."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    check_positive_int(n, "transform length")
+    moved = np.moveaxis(x, axis, -1)
+    out = fft_pow2(moved) if _is_pow2(n) else fft_bluestein(moved)
+    return np.moveaxis(out, -1, axis)
+
+
+def ifft1d(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse DFT along ``axis`` (any length), scaled by ``1/n``."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    check_positive_int(n, "transform length")
+    moved = np.moveaxis(x, axis, -1)
+    if _is_pow2(n):
+        out = fft_pow2(moved, inverse=True)
+    else:
+        out = fft_bluestein(moved, inverse=True)
+    return np.moveaxis(out, -1, axis) / n

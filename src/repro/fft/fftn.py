@@ -1,0 +1,63 @@
+"""N-dimensional transforms as sequences of 1D stage sweeps.
+
+The row-column decomposition here *is* the structure the paper's
+communication analysis is about: a 3D FFT is three sweeps of 1D transforms,
+and in a distributed setting each sweep boundary where the partitioned axis
+changes is an all-to-all.  Locally there is no exchange, but the stage
+structure is kept explicit so the pruned transforms and the distributed
+baselines share it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fft.backend import Backend, get_backend
+
+
+def fftn(
+    x: np.ndarray,
+    axes: Optional[Sequence[int]] = None,
+    backend: str | Backend = "numpy",
+) -> np.ndarray:
+    """Forward N-D DFT over ``axes`` (default: all), one 1D sweep per axis."""
+    be = get_backend(backend)
+    out = np.asarray(x, dtype=np.complex128)
+    if axes is None:
+        axes = range(out.ndim)
+    for axis in axes:
+        out = be.fft(out, axis)
+    return out
+
+
+def ifftn(
+    x: np.ndarray,
+    axes: Optional[Sequence[int]] = None,
+    backend: str | Backend = "numpy",
+) -> np.ndarray:
+    """Inverse N-D DFT over ``axes`` (default: all)."""
+    be = get_backend(backend)
+    out = np.asarray(x, dtype=np.complex128)
+    if axes is None:
+        axes = range(out.ndim)
+    for axis in axes:
+        out = be.ifft(out, axis)
+    return out
+
+
+def fft3(x: np.ndarray, backend: str | Backend = "numpy") -> np.ndarray:
+    """Forward 3D DFT of a rank-3 array."""
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"fft3 expects a rank-3 array, got ndim={x.ndim}")
+    return fftn(x, axes=(0, 1, 2), backend=backend)
+
+
+def ifft3(x: np.ndarray, backend: str | Backend = "numpy") -> np.ndarray:
+    """Inverse 3D DFT of a rank-3 array."""
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"ifft3 expects a rank-3 array, got ndim={x.ndim}")
+    return ifftn(x, axes=(0, 1, 2), backend=backend)

@@ -1,0 +1,119 @@
+"""FFT plan objects carrying shape, stage, and workspace metadata.
+
+Plans do two jobs:
+
+1. Execute the transform they describe (delegating to the stage functions),
+   so algorithm code can be written FFTW-style: plan once, execute many.
+2. Report a *workspace estimate* — how many bytes of temporaries the
+   transform needs — which is what the simulated-GPU memory tracker charges.
+   The gap between algorithmic estimates and cuFFT's actual temporaries is
+   the subject of the paper's Table 4; :mod:`repro.cluster.cufft_model`
+   builds on these estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.fft.backend import Backend, get_backend
+from repro.fft.fftn import fft3, ifft3
+from repro.fft.pruned import slab_from_subcube
+from repro.util.validation import check_positive_int
+
+COMPLEX_BYTES = 16  # double-precision complex
+REAL_BYTES = 8  # double-precision real
+
+
+@dataclass(frozen=True)
+class FFTPlan:
+    """A planned transform with shape and workspace metadata.
+
+    Attributes
+    ----------
+    kind:
+        ``"fft3"``, ``"ifft3"``, or ``"pruned_slab"``.
+    shape:
+        Logical (full-grid) transform shape.
+    workspace_bytes:
+        Estimated temporary bytes beyond input+output (one staging buffer
+        for out-of-place stage sweeps, the classic cuFFT behaviour).
+    """
+
+    kind: str
+    shape: Tuple[int, ...]
+    backend_name: str = "numpy"
+    corner: Tuple[int, int, int] = (0, 0, 0)
+    sub_shape: Tuple[int, ...] = ()
+    workspace_bytes: int = field(default=0)
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Run the planned transform on ``x``."""
+        be: Backend = get_backend(self.backend_name)
+        if self.kind == "fft3":
+            if x.shape != self.shape:
+                raise PlanError(f"plan shape {self.shape} != input shape {x.shape}")
+            return fft3(x, backend=be)
+        if self.kind == "ifft3":
+            if x.shape != self.shape:
+                raise PlanError(f"plan shape {self.shape} != input shape {x.shape}")
+            return ifft3(x, backend=be)
+        if self.kind == "pruned_slab":
+            if x.shape != self.sub_shape:
+                raise PlanError(
+                    f"plan sub-shape {self.sub_shape} != input shape {x.shape}"
+                )
+            return slab_from_subcube(x, self.corner, self.shape[0], backend=be)
+        raise PlanError(f"unknown plan kind {self.kind!r}")
+
+
+def plan_fft3(
+    n: int, backend: str = "numpy", inverse: bool = False
+) -> FFTPlan:
+    """Plan a dense ``n^3`` complex transform.
+
+    Workspace: one ``n^3`` complex staging buffer (out-of-place sweep),
+    matching the traditional-FFT memory row of Table 1 when combined with
+    input + output buffers.
+    """
+    n = check_positive_int(n, "n")
+    return FFTPlan(
+        kind="ifft3" if inverse else "fft3",
+        shape=(n, n, n),
+        backend_name=backend,
+        workspace_bytes=n * n * n * COMPLEX_BYTES,
+    )
+
+
+def plan_pruned_conv(
+    n: int,
+    k: int,
+    corner: Sequence[int] = (0, 0, 0),
+    batch: int | None = None,
+    backend: str = "numpy",
+) -> FFTPlan:
+    """Plan the pruned slab stage for a ``k^3`` sub-domain in an ``n^3`` grid.
+
+    Workspace: the ``n x n x k`` slab plus one batch of ``B`` full-length
+    pencils — the working set of the paper's POC (§4, Fig 4).
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if k > n:
+        raise PlanError(f"sub-domain k={k} larger than grid n={n}")
+    if batch is None:
+        batch = n
+    batch = check_positive_int(batch, "batch")
+    slab_bytes = n * n * k * COMPLEX_BYTES
+    pencil_bytes = batch * n * COMPLEX_BYTES
+    return FFTPlan(
+        kind="pruned_slab",
+        shape=(n, n, n),
+        backend_name=backend,
+        corner=tuple(int(c) for c in corner),
+        sub_shape=(k, k, k),
+        workspace_bytes=slab_bytes + pencil_bytes,
+    )

@@ -1,0 +1,183 @@
+"""Pruned staged 3D transforms: the paper's local FFT structure (Step 2).
+
+A ``k x k x k`` sub-domain embedded (conceptually) at ``corner`` inside an
+``N^3`` zero grid has a full-grid DFT, but the zeros never need to be
+materialized:
+
+1. **Slab stage** — 1D FFTs along x then y, padding only the 1D pencils
+   ("Zero structure is implicit in the 1D calls, so padding is applied to
+   the 1D data, and not to the full 3D array").  The result is an
+   ``N x N x k`` complex slab, the paper's ``8 * N * N * k`` byte working
+   set (Table 1).
+2. **Pencil stage** — the slab's ``N^2`` z-pencils (each with only ``k``
+   non-zero entries) are transformed in batches of ``B`` (the paper's batch
+   parameter, §5.4), giving full-length z spectra batch by batch so the
+   ``N^3`` spectrum never exists at once.
+3. **Pruned-output inverse** — on the way back, a *partial* inverse DFT
+   evaluates the result only at octree-sampled output coordinates (the
+   compression callback of Fig 4), implemented as a small dense matrix
+   product with the selected DFT rows.
+
+All stages are backend-agnostic (see :mod:`repro.fft.backend`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.fft.backend import Backend, get_backend
+from repro.util.validation import check_positive_int
+
+
+def pruned_input_fft(
+    x: np.ndarray,
+    offset: int,
+    n: int,
+    axis: int,
+    backend: str | Backend = "numpy",
+) -> np.ndarray:
+    """FFT along ``axis`` of ``x`` implicitly zero-padded to length ``n``.
+
+    The data occupies indices ``[offset, offset + x.shape[axis])`` of the
+    padded axis.  Only a single padded buffer for this one axis is created
+    (1D-pencil padding), never the full padded cube.
+    """
+    x = np.asarray(x)
+    k = x.shape[axis]
+    n = check_positive_int(n, "n")
+    if offset < 0 or offset + k > n:
+        raise ShapeError(f"data of extent {k} at offset {offset} exceeds length {n}")
+    be = get_backend(backend)
+    shape = list(x.shape)
+    shape[axis] = n
+    buf = np.zeros(shape, dtype=np.complex128)
+    sl = [slice(None)] * x.ndim
+    sl[axis] = slice(offset, offset + k)
+    buf[tuple(sl)] = x
+    return be.fft(buf, axis)
+
+
+def slab_from_subcube(
+    sub: np.ndarray,
+    corner: Sequence[int],
+    n: int,
+    backend: str | Backend = "numpy",
+) -> np.ndarray:
+    """Transform a sub-cube to an ``n x n x k`` slab (x and y stages).
+
+    Returns the complex slab ``S[fx, fy, z]`` where ``z`` indexes the ``k``
+    still-spatial planes of the sub-domain (their absolute z position,
+    ``corner[2]``, is applied at the pencil stage).
+    """
+    sub = np.asarray(sub)
+    if sub.ndim != 3:
+        raise ShapeError(f"sub-domain must be rank 3, got ndim={sub.ndim}")
+    cx, cy, _cz = (int(c) for c in corner)
+    stage_x = pruned_input_fft(sub, cx, n, axis=0, backend=backend)
+    return pruned_input_fft(stage_x, cy, n, axis=1, backend=backend)
+
+
+def pencil_batches(total: int, batch: int) -> Iterator[slice]:
+    """Yield contiguous slices covering ``range(total)`` in chunks of ``batch``.
+
+    ``batch`` is the paper's B parameter: how many z-pencils are transformed
+    per batched 1D FFT call (§5.4).
+    """
+    total = check_positive_int(total, "total")
+    batch = check_positive_int(batch, "batch")
+    for start in range(0, total, batch):
+        yield slice(start, min(start + batch, total))
+
+
+def zstage_batch(
+    slab_rows: np.ndarray,
+    corner_z: int,
+    n: int,
+    backend: str | Backend = "numpy",
+) -> np.ndarray:
+    """Forward z-transform of a batch of pencils from the slab.
+
+    ``slab_rows`` has shape ``(B, k)`` (pencils x non-zero z extent); the
+    return value has shape ``(B, n)`` — the full z spectrum of each pencil
+    with its data implicitly placed at ``corner_z``.
+    """
+    slab_rows = np.asarray(slab_rows)
+    if slab_rows.ndim != 2:
+        raise ShapeError("zstage_batch expects (B, k) pencil batches")
+    return pruned_input_fft(slab_rows, corner_z, n, axis=1, backend=backend)
+
+
+def pruned_fft3(
+    sub: np.ndarray,
+    corner: Sequence[int],
+    n: int,
+    backend: str | Backend = "numpy",
+    batch: int | None = None,
+) -> np.ndarray:
+    """Full ``n^3`` spectrum of a sub-cube embedded at ``corner``.
+
+    Reference-scale helper (materializes the ``n^3`` result) used for
+    validation; the production pipeline consumes :func:`zstage_batch`
+    batches instead and never allocates the cube.
+    """
+    sub = np.asarray(sub)
+    k = sub.shape[2]
+    cz = int(corner[2])
+    slab = slab_from_subcube(sub, corner, n, backend=backend)
+    if batch is None:
+        batch = n * n
+    out = np.empty((n, n, n), dtype=np.complex128)
+    flat = slab.reshape(n * n, k)
+    out_flat = out.reshape(n * n, n)
+    for sl in pencil_batches(n * n, batch):
+        out_flat[sl] = zstage_batch(flat[sl], cz, n, backend=backend)
+    return out
+
+
+@lru_cache(maxsize=128)
+def _partial_idft_matrix(n: int, coords: Tuple[int, ...]) -> np.ndarray:
+    """Rows of the length-``n`` inverse DFT matrix for output ``coords``.
+
+    ``M[j, f] = exp(+2i*pi*coords[j]*f/n) / n``; applying ``spec @ M.T``
+    evaluates the inverse transform only at the sampled coordinates.
+    """
+    c = np.asarray(coords, dtype=np.float64)[:, None]
+    f = np.arange(n, dtype=np.float64)[None, :]
+    mat = np.exp(2j * np.pi * c * f / n) / n
+    mat.setflags(write=False)
+    return mat
+
+
+def partial_idft(
+    spectrum: np.ndarray, coords: Sequence[int], axis: int = -1
+) -> np.ndarray:
+    """Inverse DFT along ``axis`` evaluated only at output ``coords``.
+
+    This is the pruned-output transform the compression callback performs:
+    for ``m = len(coords)`` sampled points it costs ``O(n*m)`` per pencil
+    instead of ``O(n log n)`` plus a discard.  Output axis length is ``m``.
+    """
+    spectrum = np.asarray(spectrum, dtype=np.complex128)
+    n = spectrum.shape[axis]
+    coords = tuple(int(c) for c in coords)
+    if any(c < 0 or c >= n for c in coords):
+        raise ShapeError(f"output coords must lie in [0, {n}), got {coords}")
+    mat = _partial_idft_matrix(n, coords)
+    moved = np.moveaxis(spectrum, axis, -1)
+    out = moved @ mat.T
+    return np.moveaxis(out, -1, axis)
+
+
+def pruned_fft_slab(
+    sub: np.ndarray,
+    corner: Sequence[int],
+    n: int,
+    backend: str | Backend = "numpy",
+) -> np.ndarray:
+    """Alias of :func:`slab_from_subcube` matching the paper's terminology
+    ("the small domain undergoes a 2D transform to a slab")."""
+    return slab_from_subcube(sub, corner, n, backend=backend)

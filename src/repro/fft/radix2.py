@@ -1,0 +1,86 @@
+"""Iterative radix-2 Cooley-Tukey FFT, vectorized over a batch axis.
+
+The transform operates on the last axis of a ``(batch, n)`` complex array.
+All butterflies of a stage are performed with one vectorized expression, so
+cost at call time is ``log2(n)`` numpy operations rather than ``n log n``
+Python-level ones — the vectorization idiom from the project's HPC guides.
+
+Twiddle factors are cached per ``(n, stage)`` via a per-length table, built
+lazily and reused across calls (plan-style amortization, mirroring FFTW /
+cuFFT plan reuse that the paper's pipeline relies on).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.fft.bitrev import bit_reversal_permutation
+from repro.util.validation import check_power_of_two
+
+
+@lru_cache(maxsize=64)
+def _twiddle_tables(n: int) -> Tuple[np.ndarray, ...]:
+    """Per-stage twiddle factor tables for a forward length-``n`` transform.
+
+    Stage ``s`` (half-block size ``m = 2**s``) uses
+    ``w = exp(-2j*pi*arange(m)/(2m))``.
+    """
+    n = check_power_of_two(n, "n")
+    tables = []
+    m = 1
+    while m < n:
+        w = np.exp(-2j * np.pi * np.arange(m) / (2 * m))
+        w.setflags(write=False)
+        tables.append(w)
+        m *= 2
+    return tuple(tables)
+
+
+def fft_pow2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Radix-2 FFT along the last axis; length must be a power of two.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(..., n)``; any dtype castable to complex128.
+    inverse:
+        If True, computes the unnormalized inverse transform (conjugate
+        twiddles, no 1/n scaling; callers normalize).
+
+    Returns
+    -------
+    Complex128 array of the same shape.
+    """
+    x = np.asarray(x)
+    n = x.shape[-1]
+    check_power_of_two(n, "transform length")
+    out = np.ascontiguousarray(x, dtype=np.complex128)
+    if n == 1:
+        return out.copy()
+
+    perm = bit_reversal_permutation(n)
+    out = out[..., perm]
+
+    lead = out.shape[:-1]
+    for w in _twiddle_tables(n):
+        m = w.shape[0]  # half block size
+        tw = np.conj(w) if inverse else w
+        # View as (..., blocks, 2, m): axis -2 separates even/odd halves.
+        work = out.reshape(*lead, n // (2 * m), 2, m)
+        even = work[..., 0, :]
+        odd = work[..., 1, :] * tw
+        upper = even + odd
+        lower = even - odd
+        out = np.concatenate(
+            [upper[..., None, :], lower[..., None, :]], axis=-2
+        ).reshape(*lead, n)
+    return out
+
+
+def ifft_pow2(x: np.ndarray) -> np.ndarray:
+    """Normalized inverse radix-2 FFT along the last axis."""
+    n = np.asarray(x).shape[-1]
+    return fft_pow2(x, inverse=True) / n

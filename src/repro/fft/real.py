@@ -1,0 +1,54 @@
+"""Real-input transforms built on the native complex FFT.
+
+The Green's function kernels the paper targets have *real-valued* spectra,
+and the stress/strain fields are real, so real transforms halve both the
+spectrum storage and the pointwise-multiply work.  ``rfft1d`` returns the
+non-redundant half-spectrum (length ``n//2 + 1``); ``irfft1d`` rebuilds the
+Hermitian full spectrum and inverts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.fft.dft import fft1d, ifft1d
+
+
+def rfft1d(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward DFT of real input; returns ``n//2 + 1`` coefficients."""
+    x = np.asarray(x)
+    if np.iscomplexobj(x):
+        raise ShapeError("rfft1d expects real input")
+    n = x.shape[axis]
+    full = fft1d(x.astype(np.float64), axis=axis)
+    sl = [slice(None)] * full.ndim
+    sl[axis] = slice(0, n // 2 + 1)
+    return full[tuple(sl)].copy()
+
+
+def irfft1d(spectrum: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`rfft1d`: Hermitian-extend then invert, return real.
+
+    Parameters
+    ----------
+    spectrum:
+        Half spectrum with ``n//2 + 1`` entries along ``axis``.
+    n:
+        Original (full) transform length.
+    """
+    spectrum = np.asarray(spectrum, dtype=np.complex128)
+    half = n // 2 + 1
+    if spectrum.shape[axis] != half:
+        raise ShapeError(
+            f"half-spectrum length {spectrum.shape[axis]} != n//2+1 = {half}"
+        )
+    moved = np.moveaxis(spectrum, axis, -1)
+    shape = moved.shape[:-1] + (n,)
+    full = np.empty(shape, dtype=np.complex128)
+    full[..., :half] = moved
+    # Hermitian symmetry: X[n-k] = conj(X[k]) for k = 1 .. ceil(n/2)-1.
+    tail = np.conj(moved[..., 1 : (n + 1) // 2])
+    full[..., half:] = tail[..., ::-1]
+    out = ifft1d(full, axis=-1)
+    return np.moveaxis(out.real, -1, axis).copy()

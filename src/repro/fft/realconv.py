@@ -1,0 +1,55 @@
+"""Real-transform convolution path.
+
+The kernels this library targets have real spectra and the fields are
+real, so the non-redundant half-spectrum (R2C/C2R) halves both storage and
+pointwise work — the optimization the paper's Fig 5 plans
+(``fftx_plan_guru_dft_r2c`` / ``c2r``) are named for.  This module provides
+the dense real-transform convolution used as a memory-lean reference and
+by the single-GPU dense baseline's working-set model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def rfft_convolve(field: np.ndarray, kernel_spectrum_half: np.ndarray) -> np.ndarray:
+    """Circular convolution via half-spectrum transforms.
+
+    Parameters
+    ----------
+    field:
+        Real ``(n, n, n)`` input.
+    kernel_spectrum_half:
+        The kernel's rfftn spectrum, shape ``(n, n, n//2 + 1)`` (real for
+        the symmetric kernels this library targets, complex accepted).
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 3:
+        raise ShapeError(f"field must be rank 3, got ndim={field.ndim}")
+    n = field.shape[0]
+    if field.shape != (n, n, n):
+        raise ShapeError(f"field must be a cube, got {field.shape}")
+    half = np.asarray(kernel_spectrum_half)
+    expected = (n, n, n // 2 + 1)
+    if half.shape != expected:
+        raise ShapeError(
+            f"half spectrum shape {half.shape} != {expected}"
+        )
+    return np.fft.irfftn(np.fft.rfftn(field) * half, s=(n, n, n), axes=(0, 1, 2))
+
+
+def half_spectrum(kernel_spectrum: np.ndarray) -> np.ndarray:
+    """Extract the non-redundant half of a full kernel spectrum."""
+    spec = np.asarray(kernel_spectrum)
+    if spec.ndim != 3:
+        raise ShapeError(f"spectrum must be rank 3, got ndim={spec.ndim}")
+    n = spec.shape[2]
+    return spec[:, :, : n // 2 + 1].copy()
+
+
+def half_spectrum_bytes(n: int) -> int:
+    """Storage for the half spectrum vs the full one (the 2x saving)."""
+    return 16 * n * n * (n // 2 + 1)

@@ -1,0 +1,67 @@
+"""Plan composition: ``fftx_plan_compose`` and the top-level plan.
+
+"The overall FFTX plan is composed of a sequence of sub-plans ... The
+optimization and code-generation are applied to the overall plan, and
+hence, across all the sub-plans.  The plan can be executed more than
+once."  (paper §6)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, PlanError
+from repro.fftx.subplans import SubPlan
+
+
+@dataclass
+class ComposedPlan:
+    """A top-level plan: an ordered sub-plan chain with a dataflow check."""
+
+    subplans: List[SubPlan]
+    input_name: str
+    output_name: str
+    label: int = 0  # the persistent plan label of Fig 5 (MY_PLAN_LABEL)
+    optimized: bool = field(default=False)
+
+    def validate(self) -> None:
+        """Check the chain is connected: each sub-plan's input is either the
+        plan input or some earlier sub-plan's output."""
+        available = {self.input_name}
+        for sp in self.subplans:
+            if sp.in_name not in available:
+                raise PlanError(
+                    f"sub-plan {sp.kind!r} reads {sp.in_name!r} which no "
+                    f"earlier step produces"
+                )
+            available.add(sp.out_name)
+        if self.output_name not in available:
+            raise PlanError(
+                f"plan output {self.output_name!r} is never produced"
+            )
+
+    @property
+    def num_subplans(self) -> int:
+        return len(self.subplans)
+
+
+def fftx_plan_compose(
+    subplans: Sequence[SubPlan],
+    input_name: str = "input",
+    output_name: str = "output",
+    flags: int = 0,
+    label: int = 0,
+) -> ComposedPlan:
+    """Compose sub-plans into a validated top-level plan."""
+    subplans = list(subplans)
+    if not subplans:
+        raise ConfigurationError("cannot compose an empty plan")
+    plan = ComposedPlan(
+        subplans=subplans,
+        input_name=input_name,
+        output_name=output_name,
+        label=label,
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,58 @@
+"""The FFTX executor: buffer environment + observe-mode statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fftx.compose import ComposedPlan
+from repro.fftx.modes import FFTX_MODE_OBSERVE, current_env
+
+
+@dataclass
+class ExecutionStats:
+    """Per-sub-plan timing and buffer sizes from an observed execution."""
+
+    steps: List[Tuple[str, float, int]] = field(default_factory=list)
+
+    def record(self, kind: str, seconds: float, out_bytes: int) -> None:
+        self.steps.append((kind, seconds, out_bytes))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s for _k, s, _b in self.steps)
+
+    @property
+    def peak_buffer_bytes(self) -> int:
+        return max((b for _k, _s, b in self.steps), default=0)
+
+
+def fftx_execute(
+    plan: ComposedPlan,
+    input_value: Any,
+    stats: Optional[ExecutionStats] = None,
+) -> Any:
+    """Run a composed plan on an input value.
+
+    When the FFTX environment is in observe mode (or ``stats`` is given),
+    per-sub-plan wall time and output sizes are recorded — the raw material
+    the real FFTX feeds its autotuner.
+    """
+    env: Dict[str, Any] = {plan.input_name: input_value}
+    observing = stats is not None or (
+        (env_state := current_env()) is not None
+        and env_state.flags & FFTX_MODE_OBSERVE
+    )
+    if observing and stats is None:
+        stats = ExecutionStats()
+    for sp in plan.subplans:
+        start = time.perf_counter()
+        sp.apply(env)
+        if stats is not None:
+            out = env.get(sp.out_name)
+            nbytes = int(out.nbytes) if isinstance(out, np.ndarray) else 0
+            stats.record(sp.kind, time.perf_counter() - start, nbytes)
+    return env[plan.output_name]

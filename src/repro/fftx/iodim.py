@@ -1,0 +1,58 @@
+"""Dimension descriptors for guru-style plan construction.
+
+FFTW/FFTX guru interfaces describe transforms with ``iodim`` structs
+(size / input stride / output stride).  This reproduction keeps the size
+and adds the *offset* needed by pruned transforms (where the logical
+padded axis is larger than the data extent and the data sits at an
+offset inside it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IODim:
+    """One transform dimension.
+
+    Attributes
+    ----------
+    n:
+        Logical (padded) transform length along this axis.
+    data_extent:
+        Extent of actual data (``<= n``); the rest is implicit zeros —
+        the pruned-input description of the paper's Step 2.
+    offset:
+        Position of the data within the padded axis.
+    """
+
+    n: int
+    data_extent: int | None = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"iodim n must be positive, got {self.n}")
+        extent = self.data_extent if self.data_extent is not None else self.n
+        if extent <= 0 or extent > self.n:
+            raise ConfigurationError(
+                f"data extent {extent} invalid for padded length {self.n}"
+            )
+        if self.offset < 0 or self.offset + extent > self.n:
+            raise ConfigurationError(
+                f"data [{self.offset}, {self.offset + extent}) outside "
+                f"padded axis of length {self.n}"
+            )
+
+    @property
+    def extent(self) -> int:
+        """Actual data extent (defaults to the full axis)."""
+        return self.data_extent if self.data_extent is not None else self.n
+
+    @property
+    def is_pruned(self) -> bool:
+        """Whether this axis carries implicit zero padding."""
+        return self.extent < self.n

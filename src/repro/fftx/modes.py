@@ -1,0 +1,61 @@
+"""FFTX mode flags and environment lifecycle.
+
+"The calls to the fftx_init and fftx_shutdown functions set up the
+environment with appropriate options, such as declaring that FFTX should
+operate in high-performance mode (i.e., enabling symbolic analysis, code
+generation, and autotuning in the backend)."  (paper §6)
+
+Here the flags select how much work :func:`repro.fftx.optimize.
+optimize_plan` does and whether execution records observe-mode statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Record per-subplan execution statistics.
+FFTX_MODE_OBSERVE = 1 << 0
+#: Estimate costs at plan time (no measurement).
+FFTX_ESTIMATE = 1 << 1
+#: Enable the full optimization pass (fusion + workspace reuse).
+FFTX_HIGH_PERFORMANCE = 1 << 2
+#: Mark a plan as a sub-plan of a composed plan.
+FFTX_FLAG_SUBPLAN = 1 << 3
+#: Pointwise sub-plan flavour flag (mirrors FFTX_PW_POINTWISE).
+FFTX_PW_POINTWISE = 1 << 4
+
+
+@dataclass
+class FFTXEnvironment:
+    """Global FFTX state between init and shutdown."""
+
+    flags: int = 0
+    initialized: bool = field(default=False)
+
+
+_ENV: Optional[FFTXEnvironment] = None
+
+
+def fftx_init(flags: int = 0) -> FFTXEnvironment:
+    """Initialize the FFTX environment with mode flags."""
+    global _ENV
+    if _ENV is not None and _ENV.initialized:
+        raise ConfigurationError("fftx_init called twice without fftx_shutdown")
+    _ENV = FFTXEnvironment(flags=flags, initialized=True)
+    return _ENV
+
+
+def fftx_shutdown() -> None:
+    """Tear down the FFTX environment."""
+    global _ENV
+    if _ENV is None or not _ENV.initialized:
+        raise ConfigurationError("fftx_shutdown without fftx_init")
+    _ENV = None
+
+
+def current_env() -> Optional[FFTXEnvironment]:
+    """The active environment, or None outside init/shutdown."""
+    return _ENV

@@ -1,0 +1,37 @@
+"""Frequency-grid helpers shared by all spectral kernels."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+
+@lru_cache(maxsize=32)
+def frequency_grid(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Integer DFT frequency components ``(xi_x, xi_y, xi_z)`` on an n^3 grid.
+
+    Sparse (broadcastable) arrays of shapes ``(n,1,1)``, ``(1,n,1)``,
+    ``(1,1,n)`` holding :func:`numpy.fft.fftfreq` scaled by ``n`` (i.e.
+    integer frequencies ``0, 1, ..., -1``).  The MASSIF Green's operator
+    (Eq 3) is homogeneous of degree zero in ``xi``, so any uniform scaling
+    convention gives identical results; integer frequencies keep everything
+    exact.
+    """
+    n = check_positive_int(n, "n")
+    f = np.fft.fftfreq(n, d=1.0 / n)  # 0, 1, ..., -n/2, ..., -1
+    xi_x = f.reshape(n, 1, 1)
+    xi_y = f.reshape(1, n, 1)
+    xi_z = f.reshape(1, 1, n)
+    for a in (xi_x, xi_y, xi_z):
+        a.setflags(write=False)
+    return xi_x, xi_y, xi_z
+
+
+def frequency_norm2(n: int) -> np.ndarray:
+    """``|xi|^2`` on the n^3 grid (dense array)."""
+    xi_x, xi_y, xi_z = frequency_grid(n)
+    return xi_x**2 + xi_y**2 + xi_z**2

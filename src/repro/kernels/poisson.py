@@ -1,0 +1,64 @@
+"""Poisson Green's function ``G(x) = 1 / (4 pi |x|)`` (paper Eq 5).
+
+The paper cites Poisson's equation as the canonical relative of MASSIF:
+"the Green's function is ``1/(4 pi |x - x0|)`` which also has properties
+in common with MASSIF i.e. decay proportional to 1/x".  The spectral form
+on a periodic grid is ``G_hat(xi) = 1 / |xi|^2`` (with the zero mode
+projected out), so a Poisson solve is one FFT convolution — a second
+realistic use case for the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.freq import frequency_norm2
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class PoissonKernel:
+    """Spectral inverse Laplacian on an ``n^3`` periodic grid.
+
+    ``length`` sets the physical box size; frequencies are
+    ``2 pi m / length`` so results converge to the continuum solution as
+    the grid refines.
+    """
+
+    n: int
+    length: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n, "n")
+        if self.length <= 0:
+            raise ConfigurationError(f"length must be positive, got {self.length}")
+
+    def spectrum(self) -> np.ndarray:
+        """``1/|xi|^2`` with the zero mode set to 0 (mean removed).
+
+        Real-valued and decaying — the properties the compression policy
+        relies on.
+        """
+        scale = (2.0 * np.pi / self.length) ** 2
+        norm2 = frequency_norm2(self.n) * scale
+        with np.errstate(divide="ignore"):
+            inv = np.where(norm2 > 0, 1.0 / norm2, 0.0)
+        return inv
+
+    def spatial(self) -> np.ndarray:
+        """The periodic Green's function sampled on the grid (via inverse
+        DFT of the spectrum; matches ``1/(4 pi r)`` away from images)."""
+        return np.real(np.fft.ifftn(self.spectrum()))
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``-laplace(u) = rhs`` with periodic BCs, zero-mean ``u``."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape != (self.n,) * 3:
+            raise ConfigurationError(
+                f"rhs shape {rhs.shape} != grid ({self.n},)*3"
+            )
+        u_hat = np.fft.fftn(rhs) * self.spectrum()
+        return np.real(np.fft.ifftn(u_hat))

@@ -1,0 +1,58 @@
+"""Convergence diagnostics for the MASSIF fixed-point iteration.
+
+The standard Moulinec-Suquet equilibrium criterion: the stress field is at
+equilibrium when ``div(sigma) = 0``, i.e. ``xi . sigma_hat(xi) = 0`` for
+every non-zero frequency; the residual normalizes the RMS divergence by
+the mean stress magnitude.  A strain-change criterion is provided as the
+cheaper alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.kernels.freq import frequency_grid
+
+
+def equilibrium_residual(sigma: np.ndarray) -> float:
+    """RMS Fourier divergence of the stress normalized by the mean stress.
+
+    ``sqrt( sum_{xi != 0} |xi . sigma_hat|^2 / N^3 ) / |sigma_hat(0)|``,
+    evaluated on the frequencies the discrete Green operator acts on —
+    Nyquist planes are excluded, matching the operator convention (see
+    :mod:`repro.kernels.green_massif`): residual modes the scheme cannot
+    touch by construction are not part of its convergence criterion.
+    """
+    from repro.kernels.green_massif import nyquist_mask
+
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if sigma.ndim != 5 or sigma.shape[:2] != (3, 3):
+        raise ShapeError(f"sigma must be (3, 3, n, n, n), got {sigma.shape}")
+    n = sigma.shape[2]
+    sigma_hat = np.fft.fftn(sigma, axes=(2, 3, 4))
+    xi = frequency_grid(n)
+    keep = ~nyquist_mask(xi, n)
+    div2 = np.zeros((n, n, n))
+    for i in range(3):
+        comp = sum(xi[j] * sigma_hat[i, j] for j in range(3))
+        div2 += np.abs(comp) ** 2 * keep
+    mean_mag = float(np.linalg.norm(sigma_hat[:, :, 0, 0, 0]))
+    if mean_mag == 0.0:
+        return float(np.sqrt(div2.sum()) / n**3)
+    # Normalize frequencies against the mean-stress magnitude at matched scale.
+    return float(np.sqrt(div2.sum() / n**3) / mean_mag)
+
+
+def strain_change(eps_new: np.ndarray, eps_old: np.ndarray) -> float:
+    """Relative L2 change between strain iterates."""
+    eps_new = np.asarray(eps_new)
+    eps_old = np.asarray(eps_old)
+    if eps_new.shape != eps_old.shape:
+        raise ShapeError(
+            f"iterate shapes differ: {eps_new.shape} vs {eps_old.shape}"
+        )
+    denom = float(np.linalg.norm(eps_old.ravel()))
+    if denom == 0.0:
+        return float(np.linalg.norm(eps_new.ravel()))
+    return float(np.linalg.norm((eps_new - eps_old).ravel())) / denom

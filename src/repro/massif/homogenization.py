@@ -1,0 +1,103 @@
+"""Effective (homogenized) stiffness extraction.
+
+MASSIF's scientific output is the effective response of the composite:
+the rank-4 tensor ``C_eff`` with ``<sigma> = C_eff : E`` over all
+prescribed macroscopic strains.  This module runs the six independent unit
+load cases through any MASSIF solver, assembles ``C_eff`` in Voigt form,
+and provides the classical Voigt (arithmetic) and Reuss (harmonic) bounds
+every valid homogenization must respect — the physics checks the test
+suite and the homogenization example rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.massif.elasticity import (
+    StiffnessField,
+    VOIGT_PAIRS,
+    voigt_from_tensor,
+)
+from repro.massif.solver import MassifSolver
+
+#: Voigt engineering factors: shear components enter twice.
+_VOIGT_WEIGHTS = np.array([1.0, 1.0, 1.0, 2.0, 2.0, 2.0])
+
+
+def _unit_macro_strain(component: int, amplitude: float) -> np.ndarray:
+    """Symmetric unit macroscopic strain for Voigt component ``component``."""
+    i, j = VOIGT_PAIRS[component]
+    e = np.zeros((3, 3))
+    e[i, j] = amplitude
+    e[j, i] = amplitude
+    return e
+
+
+@dataclass
+class HomogenizationResult:
+    """Effective stiffness plus the per-load-case solver iteration counts."""
+
+    c_eff_voigt: np.ndarray
+    iterations: List[int]
+
+    @property
+    def is_symmetric(self) -> bool:
+        return bool(np.allclose(self.c_eff_voigt, self.c_eff_voigt.T, atol=1e-6))
+
+
+def homogenize(solver: MassifSolver, amplitude: float = 1e-2) -> HomogenizationResult:
+    """Run the six unit load cases and assemble ``C_eff`` in Voigt form.
+
+    Works with any solver exposing the :class:`MassifSolver` interface,
+    including :class:`~repro.massif.lowcomm_solver.LowCommMassifSolver` —
+    homogenizing through the compressed pipeline is the paper's end-to-end
+    use case.
+    """
+    if amplitude <= 0:
+        raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+    c_eff = np.zeros((6, 6))
+    iterations: List[int] = []
+    for col in range(6):
+        macro = _unit_macro_strain(col, amplitude)
+        report = solver.solve(macro)
+        iterations.append(report.iterations)
+        mean_sigma = report.effective_stress()
+        for row, (i, j) in enumerate(VOIGT_PAIRS):
+            # strain Voigt vector has `amplitude * weight` in position col
+            c_eff[row, col] = mean_sigma[i, j] / (
+                amplitude * _VOIGT_WEIGHTS[col]
+            )
+    return HomogenizationResult(c_eff_voigt=c_eff, iterations=iterations)
+
+
+def voigt_bound(stiffness: StiffnessField) -> np.ndarray:
+    """Voigt (arithmetic-mean, upper) bound on ``C_eff`` in Voigt form."""
+    return voigt_from_tensor(stiffness.mean_tensor())
+
+
+def reuss_bound(stiffness: StiffnessField) -> np.ndarray:
+    """Reuss (harmonic-mean, lower) bound on ``C_eff`` in Voigt form."""
+    weights = np.bincount(
+        stiffness.phase_map.ravel(), minlength=stiffness.num_phases
+    ) / stiffness.phase_map.size
+    mean_compliance = sum(
+        w * np.linalg.inv(voigt_from_tensor(t))
+        for w, t in zip(weights, stiffness.phase_tensors)
+    )
+    return np.linalg.inv(mean_compliance)
+
+
+def bounds_respected(
+    c_eff: np.ndarray, stiffness: StiffnessField, tol: float = 1e-6
+) -> bool:
+    """Check Reuss <= C_eff <= Voigt in the positive-semidefinite sense."""
+    upper = voigt_bound(stiffness)
+    lower = reuss_bound(stiffness)
+    sym = 0.5 * (c_eff + c_eff.T)
+    eig_upper = np.linalg.eigvalsh(upper - sym)
+    eig_lower = np.linalg.eigvalsh(sym - lower)
+    return bool(eig_upper.min() >= -tol and eig_lower.min() >= -tol)

@@ -1,0 +1,151 @@
+"""Octree cells and the paper's 5-integer metadata codec.
+
+"The octree metadata is stored in an array, with five consecutive integers
+capturing the details of one octree cell.  The five numbers represent the
+co-ordinates of the corner point (x, y, z), the downsampling rate of that
+cell and a count of the total number of samples in the cells that come
+before the current cell."  (paper §4)
+
+Cell extent is implied by the octree level in the paper's packed format; we
+store cells with an explicit ``size`` in the object form and rely on the
+construction invariant (cells are cubes from recursive halving) when
+round-tripping metadata, carrying ``size`` in a parallel array when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: ints per cell in the packed metadata layout (x, y, z, rate, cum_count)
+METADATA_INTS_PER_CELL = 5
+
+
+@dataclass(frozen=True)
+class OctreeCell:
+    """An axis-aligned cubic cell sampled at a uniform stride.
+
+    Attributes
+    ----------
+    corner:
+        Low corner ``(x, y, z)`` in grid coordinates.
+    size:
+        Edge length (cells are cubes; the octree halves cubes).
+    rate:
+        Downsampling stride within the cell: every ``rate``-th point per
+        axis is retained (``rate == 1`` is full resolution).
+    """
+
+    corner: Tuple[int, int, int]
+    size: int
+    rate: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"cell size must be positive, got {self.size}")
+        if self.rate <= 0:
+            raise ConfigurationError(f"cell rate must be positive, got {self.rate}")
+        if any(c < 0 for c in self.corner):
+            raise ConfigurationError(f"cell corner must be non-negative, got {self.corner}")
+
+    @property
+    def samples_per_axis(self) -> int:
+        """Retained coordinates per axis.
+
+        The stride lattice ``corner, corner+rate, ...`` is *clamped* to
+        include the cell's far face, so interpolation inside the cell never
+        extrapolates and adjacent cells share supported boundaries:
+        ``ceil(size / rate)`` strided points plus the far edge when the
+        stride misses it.
+        """
+        base = -(-self.size // self.rate)
+        if self.size > 1 and (self.size - 1) % self.rate != 0:
+            base += 1
+        return base
+
+    @property
+    def sample_count(self) -> int:
+        """Total retained samples in the cell."""
+        return self.samples_per_axis**3
+
+    def axis_coords(self, axis: int) -> np.ndarray:
+        """Retained absolute coordinates along ``axis`` (0=x, 1=y, 2=z),
+        clamped to include the cell's far face."""
+        c = self.corner[axis]
+        coords = np.arange(c, c + self.size, self.rate, dtype=np.intp)
+        last = c + self.size - 1
+        if coords[-1] != last:
+            coords = np.append(coords, last)
+        return coords
+
+    def sample_coords(self) -> np.ndarray:
+        """All retained ``(m, 3)`` absolute sample coordinates, C order."""
+        xs = self.axis_coords(0)
+        ys = self.axis_coords(1)
+        zs = self.axis_coords(2)
+        grid = np.meshgrid(xs, ys, zs, indexing="ij")
+        return np.stack([g.ravel() for g in grid], axis=1)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Whether a grid point lies inside the cell."""
+        return all(
+            c <= int(p) < c + self.size for c, p in zip(self.corner, point)
+        )
+
+
+def encode_metadata(cells: Sequence[OctreeCell]) -> np.ndarray:
+    """Pack cells into the paper's flat int32 layout.
+
+    Five int32 per cell: ``x, y, z, rate, cumulative_count`` where
+    ``cumulative_count`` is the number of samples in all preceding cells —
+    "the last entry helps to decode the octree" by giving each cell its
+    offset into the flat sample-value array.
+    """
+    out = np.empty(len(cells) * METADATA_INTS_PER_CELL, dtype=np.int32)
+    cum = 0
+    for i, cell in enumerate(cells):
+        base = i * METADATA_INTS_PER_CELL
+        out[base : base + 3] = cell.corner
+        out[base + 3] = cell.rate
+        out[base + 4] = cum
+        cum += cell.sample_count
+    return out
+
+
+def decode_metadata(
+    metadata: np.ndarray, sizes: Sequence[int]
+) -> List[OctreeCell]:
+    """Inverse of :func:`encode_metadata`.
+
+    ``sizes`` carries the per-cell edge lengths (implied by tree level in
+    the fully packed form).  Validates the cumulative-count invariant.
+    """
+    metadata = np.asarray(metadata, dtype=np.int64)
+    if metadata.ndim != 1 or metadata.size % METADATA_INTS_PER_CELL != 0:
+        raise ConfigurationError(
+            f"metadata length {metadata.size} is not a multiple of "
+            f"{METADATA_INTS_PER_CELL}"
+        )
+    n_cells = metadata.size // METADATA_INTS_PER_CELL
+    if len(sizes) != n_cells:
+        raise ConfigurationError(
+            f"got {len(sizes)} sizes for {n_cells} encoded cells"
+        )
+    cells: List[OctreeCell] = []
+    cum = 0
+    for i in range(n_cells):
+        base = i * METADATA_INTS_PER_CELL
+        x, y, z, rate, stored_cum = (int(v) for v in metadata[base : base + 5])
+        if stored_cum != cum:
+            raise ConfigurationError(
+                f"cumulative-count invariant violated at cell {i}: "
+                f"stored {stored_cum}, expected {cum}"
+            )
+        cell = OctreeCell(corner=(x, y, z), size=int(sizes[i]), rate=rate)
+        cells.append(cell)
+        cum += cell.sample_count
+    return cells

@@ -1,0 +1,122 @@
+"""Wire format for compressed fields.
+
+The accumulation exchange ships each worker's compressed results to its
+peers.  This module defines the byte-level format — exactly what would
+cross the network in a production deployment:
+
+``header | cell metadata (5 x int32 per cell) | cell sizes (int32) | values (float64)``
+
+with a 9-field int64 header carrying a magic number, format version, grid
+size, sub-domain geometry, counts, and the value precision (float64 or
+float32 — the paper's lower-precision compression option).  The sampling pattern is fully
+reconstructible from the metadata + sizes, so a receiver needs no
+out-of-band information (the property the paper's "the last entry helps to
+decode the octree" remark is about).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.octree.cell import METADATA_INTS_PER_CELL, decode_metadata
+from repro.octree.compress import CompressedField
+from repro.octree.sampling import SamplingPattern
+
+#: magic number: 'LC3D' as little-endian int
+_MAGIC = 0x4C433344
+_VERSION = 2
+_HEADER_FIELDS = 9  # magic, version, n, k, cx, cy, cz, num_cells, precision
+
+#: precision codes carried in the header
+_PRECISION_CODES = {"float64": 0, "float32": 1}
+_PRECISION_DTYPES = {0: np.float64, 1: np.float32}
+
+
+def serialize_compressed(
+    field: CompressedField, precision: str = "float64"
+) -> bytes:
+    """Encode a compressed field to its wire representation.
+
+    ``precision="float32"`` halves the value payload — the paper's "can be
+    compressed further using lower precision" remark — at the cost of
+    ~1e-7 relative rounding on the samples (quantified by the serialization
+    benchmark).
+    """
+    if precision not in _PRECISION_CODES:
+        raise ConfigurationError(
+            f"precision must be one of {sorted(_PRECISION_CODES)}, got {precision!r}"
+        )
+    pattern = field.pattern
+    header = np.array(
+        [
+            _MAGIC,
+            _VERSION,
+            pattern.n,
+            pattern.subdomain_size,
+            pattern.subdomain_corner[0],
+            pattern.subdomain_corner[1],
+            pattern.subdomain_corner[2],
+            pattern.num_cells,
+            _PRECISION_CODES[precision],
+        ],
+        dtype=np.int64,
+    )
+    meta = pattern.metadata().astype(np.int32)
+    sizes = pattern.cell_sizes().astype(np.int32)
+    values = np.ascontiguousarray(field.values, dtype=precision)
+    return b"".join(
+        [header.tobytes(), meta.tobytes(), sizes.tobytes(), values.tobytes()]
+    )
+
+
+def deserialize_compressed(payload: bytes) -> CompressedField:
+    """Decode the wire representation back into a :class:`CompressedField`.
+
+    Validates the magic number, version, counts, and total length, and
+    re-checks the octree cumulative-count invariant during decoding.
+    """
+    header_bytes = _HEADER_FIELDS * 8
+    if len(payload) < header_bytes:
+        raise ConfigurationError(
+            f"payload of {len(payload)} bytes shorter than the header"
+        )
+    header = np.frombuffer(payload[:header_bytes], dtype=np.int64)
+    magic, version, n, k, cx, cy, cz, num_cells, prec_code = (
+        int(v) for v in header
+    )
+    if magic != _MAGIC:
+        raise ConfigurationError(f"bad magic 0x{magic:08X}")
+    if version != _VERSION:
+        raise ConfigurationError(f"unsupported format version {version}")
+    if num_cells < 0 or n <= 0:
+        raise ConfigurationError("corrupt header (negative counts)")
+    if prec_code not in _PRECISION_DTYPES:
+        raise ConfigurationError(f"unknown precision code {prec_code}")
+    value_dtype = _PRECISION_DTYPES[prec_code]
+
+    meta_bytes = num_cells * METADATA_INTS_PER_CELL * 4
+    sizes_bytes = num_cells * 4
+    offset = header_bytes
+    meta = np.frombuffer(payload[offset : offset + meta_bytes], dtype=np.int32)
+    offset += meta_bytes
+    sizes = np.frombuffer(payload[offset : offset + sizes_bytes], dtype=np.int32)
+    offset += sizes_bytes
+
+    cells = decode_metadata(meta, sizes.tolist())
+    pattern = SamplingPattern(
+        n=n,
+        cells=cells,
+        subdomain_corner=(cx, cy, cz),
+        subdomain_size=k,
+    )
+    expected_values = pattern.sample_count
+    values = np.frombuffer(payload[offset:], dtype=value_dtype)
+    if values.size != expected_values:
+        raise ConfigurationError(
+            f"payload carries {values.size} values, pattern requires "
+            f"{expected_values}"
+        )
+    return CompressedField(
+        pattern=pattern, values=values.astype(np.float64)
+    )

@@ -1,0 +1,38 @@
+"""Shared utilities: validation, array helpers, timing, logging."""
+
+from repro.util.validation import (
+    check_cube,
+    check_divides,
+    check_dtype,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+)
+from repro.util.arrays import (
+    centered_gaussian,
+    embed_subcube,
+    extract_subcube,
+    l2_relative_error,
+    linf_relative_error,
+    next_pow2,
+    pad_to_shape,
+)
+from repro.util.timing import SimClock, WallTimer
+
+__all__ = [
+    "check_cube",
+    "check_divides",
+    "check_dtype",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_probability",
+    "centered_gaussian",
+    "embed_subcube",
+    "extract_subcube",
+    "l2_relative_error",
+    "linf_relative_error",
+    "next_pow2",
+    "pad_to_shape",
+    "SimClock",
+    "WallTimer",
+]

@@ -1,0 +1,23 @@
+"""Minimal structured logging for the library.
+
+A thin wrapper over :mod:`logging` that namespaces all library loggers under
+``repro.`` and provides a ``get_logger`` helper so modules never configure
+the root logger (library best practice).
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("fft")`` -> logger ``repro.fft``.  The library never adds
+    handlers; applications opt in via ``logging.basicConfig``.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    logger = logging.getLogger(name)
+    logger.addHandler(logging.NullHandler())
+    return logger

@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_kernel() -> GaussianKernel:
+    """A 16^3 Gaussian kernel for fast convolution tests."""
+    return GaussianKernel(n=16, sigma=1.5)
+
+
+@pytest.fixture
+def small_spectrum(small_kernel) -> np.ndarray:
+    return small_kernel.spectrum()

@@ -1,0 +1,89 @@
+"""API-surface hygiene: docstrings everywhere, exports resolvable, no
+import cycles.  A library release gate, enforced as tests."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.fft",
+    "repro.cluster",
+    "repro.octree",
+    "repro.kernels",
+    "repro.core",
+    "repro.massif",
+    "repro.baselines",
+    "repro.fftx",
+    "repro.analysis",
+]
+
+
+def _iter_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                if info.name == "__main__":
+                    continue  # importing it would execute the CLI
+                yield importlib.import_module(f"{pkg_name}.{info.name}")
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    """Every public function/class defined in the library is documented."""
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if (getattr(obj, "__module__", "") or "").startswith("repro"):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public items {undocumented}"
+    )
+
+
+@pytest.mark.parametrize(
+    "pkg_name",
+    [p for p in PACKAGES if p != "repro.util"],
+    ids=str,
+)
+def test_all_exports_resolve(pkg_name):
+    """Everything in __all__ is importable from the package."""
+    pkg = importlib.import_module(pkg_name)
+    for name in getattr(pkg, "__all__", []):
+        assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing {name!r}"
+
+
+def test_version_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") >= 1
+
+
+def test_errors_hierarchy():
+    """All library exceptions derive from ReproError."""
+    from repro import errors
+
+    for name, obj in vars(errors).items():
+        if inspect.isclass(obj) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name

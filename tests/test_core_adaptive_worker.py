@@ -1,0 +1,184 @@
+"""Tests for content-adaptive decomposition and the worker pool."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import V100_32GB
+from repro.core.adaptive import (
+    AdaptiveConvolution,
+    decompose_by_content,
+)
+from repro.core.decomposition import DomainDecomposition
+from repro.core.policy import SamplingPolicy
+from repro.core.reference import reference_convolve
+from repro.core.worker import Worker, WorkerPool
+from repro.errors import ConfigurationError
+from repro.kernels.gaussian import GaussianKernel
+from repro.util.arrays import l2_relative_error
+
+
+class TestDecomposeByContent:
+    def test_zero_field_empty(self):
+        assert decompose_by_content(np.zeros((16, 16, 16)), k_max=4) == []
+
+    def test_dense_field_tiles_fully(self, rng):
+        field = rng.standard_normal((16, 16, 16)) + 10.0  # nowhere zero
+        subs = decompose_by_content(field, k_max=4)
+        assert sum(s.size**3 for s in subs) == 16**3
+        assert all(s.size <= 4 for s in subs)
+
+    def test_sparse_field_skips_zero_blocks(self):
+        field = np.zeros((16, 16, 16))
+        field[:4, :4, :4] = 1.0
+        subs = decompose_by_content(field, k_max=4)
+        assert len(subs) == 1
+        assert subs[0].corner == (0, 0, 0)
+        assert subs[0].size == 4
+
+    def test_mixed_sizes(self):
+        """A big homogeneous block stays large only if <= k_max; unsplit
+        blocks at different levels emerge from localized support."""
+        field = np.zeros((32, 32, 32))
+        field[:16, :16, :16] = 1.0  # occupies one 16-cube exactly
+        subs = decompose_by_content(field, k_max=16)
+        assert len(subs) == 1
+        assert subs[0].size == 16
+
+    def test_threshold(self):
+        field = np.full((8, 8, 8), 1e-9)
+        field[0, 0, 0] = 1.0
+        subs = decompose_by_content(field, k_max=2, threshold=1e-6)
+        assert len(subs) == 1
+        assert subs[0].corner == (0, 0, 0)
+
+    def test_blocks_disjoint(self, rng):
+        field = (rng.random((16, 16, 16)) > 0.7).astype(float)
+        subs = decompose_by_content(field, k_max=4)
+        seen = np.zeros((16, 16, 16), dtype=int)
+        for s in subs:
+            seen[s.slices()] += 1
+        assert seen.max() <= 1
+
+    def test_k_min_validated(self):
+        with pytest.raises(ConfigurationError):
+            decompose_by_content(np.ones((8, 8, 8)), k_max=2, k_min=4)
+
+    def test_negative_threshold(self):
+        with pytest.raises(ConfigurationError):
+            decompose_by_content(np.ones((8, 8, 8)), k_max=4, threshold=-1)
+
+
+class TestAdaptiveConvolution:
+    def test_lossless_matches_reference(self, rng):
+        n = 16
+        spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+        field = np.zeros((n, n, n))
+        field[2:6, 2:6, 2:6] = rng.standard_normal((4, 4, 4))
+        conv = AdaptiveConvolution(
+            n, spec, SamplingPolicy.flat_rate(1), k_max=4, batch=64
+        )
+        res = conv.run(field)
+        np.testing.assert_allclose(
+            res.approx, reference_convolve(field, spec), atol=1e-9
+        )
+
+    def test_sparse_input_processes_less(self):
+        n = 32
+        spec = GaussianKernel(n=n, sigma=1.5).spectrum()
+        field = np.zeros((n, n, n))
+        field[:8, :8, :8] = 1.0
+        conv = AdaptiveConvolution(
+            n, spec, SamplingPolicy.flat_rate(2), k_max=8, batch=256
+        )
+        res = conv.run(field)
+        assert res.skipped_volume == n**3 - 8**3
+        assert len(res.subdomains) == 1
+        exact = reference_convolve(field, spec)
+        assert l2_relative_error(res.approx, exact) < 0.05
+
+    def test_fewer_domains_than_regular(self, rng):
+        """On sparse input, adaptive processes fewer chunks than the regular
+        decomposition at the adaptive k_max."""
+        n = 32
+        spec = GaussianKernel(n=n, sigma=1.5).spectrum()
+        field = np.zeros((n, n, n))
+        field[0:16, 0:16, 0:16] = 1.0
+        conv = AdaptiveConvolution(
+            n, spec, SamplingPolicy.flat_rate(2), k_max=8, batch=256
+        )
+        res = conv.run(field)
+        regular_count = sum(
+            1
+            for s in DomainDecomposition(n, 8)
+            if np.any(field[s.slices()])
+        )
+        assert len(res.subdomains) <= regular_count
+
+    def test_empty_input(self):
+        n = 16
+        spec = GaussianKernel(n=n, sigma=1.0).spectrum()
+        conv = AdaptiveConvolution(n, spec, SamplingPolicy.flat_rate(2), k_max=4)
+        res = conv.run(np.zeros((n, n, n)))
+        assert res.total_samples == 0
+        assert np.all(res.approx == 0)
+
+
+class TestWorkerPool:
+    def _chunks(self, n=16, k=4, count=6, rng=None):
+        rng = rng or np.random.default_rng(0)
+        d = DomainDecomposition(n, k)
+        chunks = []
+        for i in range(count):
+            sub = d.subdomain(i)
+            chunks.append((sub, rng.standard_normal((k, k, k))))
+        return n, chunks
+
+    def test_all_chunks_processed(self):
+        n, chunks = self._chunks()
+        spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+        pool = WorkerPool(3, n, spec, SamplingPolicy.flat_rate(2), V100_32GB, batch=64)
+        res = pool.run(chunks)
+        assert res.total_chunks == len(chunks)
+        assert len(res.fields) == len(chunks)
+
+    def test_load_balanced(self):
+        n, chunks = self._chunks(count=8)
+        spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+        pool = WorkerPool(4, n, spec, SamplingPolicy.flat_rate(2), V100_32GB, batch=64)
+        res = pool.run(chunks)
+        counts = [s.chunks_processed for s in res.worker_stats.values()]
+        assert max(counts) - min(counts) <= 1
+
+    def test_makespan_shrinks_with_more_workers(self):
+        n, chunks = self._chunks(count=8)
+        spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+        m1 = WorkerPool(1, n, spec, SamplingPolicy.flat_rate(2), V100_32GB, batch=64).run(chunks).makespan_s
+        m4 = WorkerPool(4, n, spec, SamplingPolicy.flat_rate(2), V100_32GB, batch=64).run(chunks).makespan_s
+        assert m4 == pytest.approx(m1 / 4, rel=0.01)
+
+    def test_results_match_direct_pipeline(self):
+        n, chunks = self._chunks(count=4)
+        spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+        pol = SamplingPolicy.flat_rate(2)
+        pool = WorkerPool(2, n, spec, pol, V100_32GB, batch=64)
+        res = pool.run(chunks)
+        from repro.core.local_conv import LocalConvolution
+
+        lc = LocalConvolution(n, spec, pol, batch=64)
+        for (sub, block), (_sub2, got) in zip(chunks, res.fields):
+            expected = lc.convolve(block, sub.corner)
+            np.testing.assert_allclose(got.values, expected.values, atol=1e-12)
+
+    def test_memory_enforced(self):
+        n, chunks = self._chunks()
+        spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+        worker = Worker(0, n, spec, SamplingPolicy.flat_rate(2), V100_32GB, batch=64)
+        sub, block = chunks[0]
+        worker.process(sub, block)
+        assert worker.stats.peak_memory_bytes > 0
+        assert worker.memory.current_bytes == 0
+
+    def test_zero_workers_rejected(self):
+        spec = GaussianKernel(n=8, sigma=1.0).spectrum()
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0, 8, spec, SamplingPolicy.flat_rate(2), V100_32GB)

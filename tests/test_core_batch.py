@@ -1,0 +1,94 @@
+"""Tests for batch multi-instance convolution."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import V100_16GB
+from repro.cluster.memory import MemoryTracker
+from repro.core.batch import BatchConvolver
+from repro.core.pipeline import LowCommConvolution3D
+from repro.core.policy import SamplingPolicy
+from repro.core.reference import reference_convolve
+from repro.errors import ConfigurationError, ShapeError
+from repro.kernels.gaussian import GaussianKernel
+from repro.util.arrays import l2_relative_error
+
+
+@pytest.fixture
+def setup(rng):
+    n, k = 16, 4
+    spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+    fields = []
+    for i in range(3):
+        f = np.zeros((n, n, n))
+        f[i : i + 8, 2 : 10, 4 : 12] = rng.standard_normal((8, 8, 8))
+        fields.append(f)
+    return n, k, spec, fields
+
+
+class TestBatchConvolver:
+    def test_matches_individual_runs(self, setup):
+        n, k, spec, fields = setup
+        pol = SamplingPolicy.flat_rate(2)
+        batch = BatchConvolver(n, k, spec, pol, batch=64)
+        res = batch.run(fields)
+        solo = LowCommConvolution3D(n, k, spec, pol, batch=64)
+        for field, got in zip(fields, res.results):
+            expected = solo.run_serial(field)
+            np.testing.assert_allclose(got.approx, expected.approx, atol=1e-12)
+
+    def test_patterns_amortized(self, setup):
+        """All instances share one pattern per sub-domain corner."""
+        n, k, spec, fields = setup
+        batch = BatchConvolver(n, k, spec, SamplingPolicy.flat_rate(2), batch=64)
+        res = batch.run(fields)
+        max_corners = (n // k) ** 3
+        assert res.patterns_built <= max_corners
+
+    def test_accuracy_each_instance(self, setup):
+        n, k, spec, fields = setup
+        batch = BatchConvolver(n, k, spec, SamplingPolicy.flat_rate(1), batch=64)
+        res = batch.run(fields)
+        for field, got in zip(fields, res.results):
+            exact = reference_convolve(field, spec)
+            assert l2_relative_error(got.approx, exact) < 1e-9
+
+    def test_memory_shared_tracker(self, setup):
+        n, k, spec, fields = setup
+        mt = MemoryTracker()
+        batch = BatchConvolver(
+            n, k, spec, SamplingPolicy.flat_rate(2), batch=64, memory=mt
+        )
+        res = batch.run(fields)
+        assert res.peak_memory_bytes > 0
+        assert mt.current_bytes == 0
+
+    def test_empty_batch_rejected(self, setup):
+        n, k, spec, _ = setup
+        batch = BatchConvolver(n, k, spec, SamplingPolicy.flat_rate(2))
+        with pytest.raises(ConfigurationError):
+            batch.run([])
+
+    def test_wrong_shape_rejected(self, setup):
+        n, k, spec, _ = setup
+        batch = BatchConvolver(n, k, spec, SamplingPolicy.flat_rate(2))
+        with pytest.raises(ShapeError):
+            batch.run([np.zeros((8, 8, 8))])
+
+
+class TestInstancesPerDevice:
+    def test_many_small_instances_fit(self):
+        """The §5.1 claim: small grids batch densely onto one GPU."""
+        n, k = 256, 32
+        spec_fn = lambda ix, iy: np.ones((len(ix), n))  # noqa: E731
+        batch = BatchConvolver(n, k, spec_fn, SamplingPolicy.flat_rate(8))
+        count = batch.instances_per_device(V100_16GB.memory_bytes)
+        # dense method: 2 * 16 * n^3 per instance -> only ~32 instances;
+        # ours fits strictly more
+        dense_count = V100_16GB.memory_bytes // (2 * 16 * n**3)
+        assert count > dense_count
+
+    def test_capacity_validation(self):
+        batch = BatchConvolver(16, 4, np.zeros((16, 16, 16)))
+        with pytest.raises(ConfigurationError):
+            batch.instances_per_device(0)

@@ -1,0 +1,100 @@
+"""Tests for checkpointing and failure recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.accumulate import accumulate_global
+from repro.core.checkpoint import (
+    checkpoint_from_bytes,
+    checkpoint_to_bytes,
+    recover_missing,
+)
+from repro.core.decomposition import DomainDecomposition
+from repro.core.local_conv import LocalConvolution
+from repro.core.pipeline import LowCommConvolution3D
+from repro.core.policy import SamplingPolicy
+from repro.errors import ConfigurationError
+from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture
+def run(rng):
+    n, k = 16, 4
+    spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+    pol = SamplingPolicy.flat_rate(2)
+    field = np.zeros((n, n, n))
+    field[2:14, 2:14, 2:14] = rng.standard_normal((12, 12, 12))
+    pipe = LowCommConvolution3D(n, k, spec, pol, batch=64)
+    result = pipe.run_serial(field)
+    return n, k, spec, pol, field, pipe, result
+
+
+class TestCheckpointRoundtrip:
+    def test_all_fields_restored(self, run):
+        *_rest, result = run
+        blob = checkpoint_to_bytes(result.per_domain)
+        restored = checkpoint_from_bytes(blob)
+        assert set(restored) == {s.index for s, _f in result.per_domain}
+        for sub, field in result.per_domain:
+            np.testing.assert_array_equal(restored[sub.index].values, field.values)
+
+    def test_float32_checkpoint_smaller(self, run):
+        *_rest, result = run
+        b64 = checkpoint_to_bytes(result.per_domain)
+        b32 = checkpoint_to_bytes(result.per_domain, precision="float32")
+        assert len(b32) < len(b64)
+
+    def test_bad_magic(self):
+        with pytest.raises(ConfigurationError):
+            checkpoint_from_bytes(b"NOTACKPT" + b"\x00" * 16)
+
+    def test_truncation_detected(self, run):
+        *_rest, result = run
+        blob = checkpoint_to_bytes(result.per_domain)
+        with pytest.raises(ConfigurationError):
+            checkpoint_from_bytes(blob[: len(blob) // 2])
+
+    def test_empty_checkpoint(self):
+        blob = checkpoint_to_bytes([])
+        assert checkpoint_from_bytes(blob) == {}
+
+
+class TestFailureRecovery:
+    def test_recompute_only_missing(self, run):
+        """Drop one rank's chunks from the checkpoint; recovery recomputes
+        exactly those and the final result is identical."""
+        n, k, spec, pol, field, pipe, result = run
+        # simulate rank 1 of 3 dying: its round-robin chunks are lost
+        lost = {s.index for s, _f in result.per_domain if s.index % 3 == 1}
+        surviving = [
+            (s, f) for s, f in result.per_domain if s.index not in lost
+        ]
+        blob = checkpoint_to_bytes(surviving)
+        restored = checkpoint_from_bytes(blob)
+        assert lost.isdisjoint(restored)
+
+        decomp = DomainDecomposition(n, k)
+        lc = LocalConvolution(n, spec, pol, batch=64)
+        recovered = recover_missing(restored, decomp, field, lc, pol)
+        assert {s.index for s, _f in recovered} == {
+            s.index for s, _f in result.per_domain
+        }
+        total = accumulate_global([f for _s, f in recovered])
+        np.testing.assert_allclose(total, result.approx, atol=1e-12)
+
+    def test_full_checkpoint_recomputes_nothing(self, run):
+        n, k, spec, pol, field, pipe, result = run
+        blob = checkpoint_to_bytes(result.per_domain)
+        restored = checkpoint_from_bytes(blob)
+
+        calls = []
+        lc = LocalConvolution(n, spec, pol, batch=64)
+        original = lc.convolve
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        lc.convolve = counting  # type: ignore[method-assign]
+        recover_missing(restored, DomainDecomposition(n, k), field, lc, pol)
+        assert not calls

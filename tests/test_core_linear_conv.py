@@ -1,0 +1,118 @@
+"""Tests for free-space (non-circular) convolution."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import convolve as nd_convolve
+
+from repro.core.linear_conv import (
+    LinearConvolution3D,
+    embed_kernel_freespace,
+    reference_linear_convolve,
+)
+from repro.core.policy import SamplingPolicy
+from repro.errors import ConfigurationError, ShapeError
+from repro.util.arrays import centered_gaussian, l2_relative_error
+
+
+@pytest.fixture
+def setup(rng):
+    n, k = 16, 8
+    kern = centered_gaussian(n, 1.5)
+    field = rng.standard_normal((n, n, n))
+    return n, k, kern, field
+
+
+class TestReferenceLinear:
+    def test_matches_direct_convolution(self, setup):
+        """Free-space result agrees with direct (zero-boundary) convolution
+        up to the kernel's window truncation."""
+        n, k, kern, field = setup
+        ref = reference_linear_convolve(field, kern)
+        direct = nd_convolve(field, kern, mode="constant", cval=0.0)
+        assert np.abs(ref - direct).max() < 1e-4
+
+    def test_no_wraparound(self):
+        """An impulse near one face must NOT leak to the opposite face —
+        the defining difference from circular convolution."""
+        n = 16
+        kern = centered_gaussian(n, 2.0)
+        field = np.zeros((n, n, n))
+        field[0, 8, 8] = 1.0
+        out = reference_linear_convolve(field, kern)
+        # circular convolution would put kern's tail at x = n-1
+        assert out[n - 1, 8, 8] < 1e-12
+        assert out[0, 8, 8] == pytest.approx(kern.max(), rel=1e-6)
+
+    def test_circular_would_wrap(self):
+        """Sanity: the circular version DOES wrap (contrast case)."""
+        from repro.kernels.gaussian import GaussianKernel
+
+        n = 16
+        g = GaussianKernel(n=n, sigma=2.0)
+        field = np.zeros((n, n, n))
+        field[0, 8, 8] = 1.0
+        out = g.convolve_dense(field)
+        assert out[n - 1, 8, 8] > 1e-3
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            reference_linear_convolve(np.zeros((8, 8, 8)), np.zeros((4, 4, 4)))
+
+
+class TestEmbedKernel:
+    def test_padded_shape(self):
+        spec = embed_kernel_freespace(centered_gaussian(8, 1.0))
+        assert spec.shape == (16, 16, 16)
+
+    def test_symmetric_kernel_real_spectrum(self):
+        spec = embed_kernel_freespace(centered_gaussian(8, 1.0))
+        assert np.isrealobj(spec)
+
+    def test_rejects_non_cube(self):
+        with pytest.raises(ShapeError):
+            embed_kernel_freespace(np.zeros((4, 6, 4)))
+
+
+class TestLinearPipeline:
+    def test_lossless_matches_reference(self, setup):
+        n, k, kern, field = setup
+        spec = embed_kernel_freespace(kern)
+        lin = LinearConvolution3D(n, k, spec, SamplingPolicy.flat_rate(1), batch=256)
+        res = lin.run(field)
+        ref = reference_linear_convolve(field, kern)
+        np.testing.assert_allclose(res.approx, ref, atol=1e-10)
+
+    def test_output_shape_is_physical_grid(self, setup):
+        n, k, kern, field = setup
+        spec = embed_kernel_freespace(kern)
+        lin = LinearConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=256)
+        assert lin.run(field).approx.shape == (n, n, n)
+
+    def test_padding_octants_skipped(self, setup):
+        """Only the physical octant's sub-domains are processed — the
+        padding is free on the input side."""
+        n, k, kern, field = setup
+        spec = embed_kernel_freespace(kern)
+        lin = LinearConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=256)
+        res = lin.run(field)
+        assert res.num_subdomains == (n // k) ** 3  # 1/8 of the padded grid
+
+    def test_lossy_error_bounded(self, setup):
+        n, k, kern, field = setup
+        spec = embed_kernel_freespace(kern)
+        lin = LinearConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=256)
+        res = lin.run(field)
+        ref = reference_linear_convolve(field, kern)
+        assert l2_relative_error(res.approx, ref) < 0.1
+
+    def test_spectrum_shape_validated(self, setup):
+        n, k, kern, _ = setup
+        with pytest.raises(ConfigurationError):
+            LinearConvolution3D(n, k, np.zeros((n, n, n)))
+
+    def test_field_shape_validated(self, setup):
+        n, k, kern, _ = setup
+        spec = embed_kernel_freespace(kern)
+        lin = LinearConvolution3D(n, k, spec)
+        with pytest.raises(ShapeError):
+            lin.run(np.zeros((n + 1,) * 3))

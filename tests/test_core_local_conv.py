@@ -1,0 +1,149 @@
+"""Tests for the local pruned compressed convolution — the pipeline's heart."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.memory import MemoryTracker
+from repro.core.local_conv import LocalConvolution
+from repro.core.policy import SamplingPolicy
+from repro.core.reference import reference_subdomain_convolve
+from repro.errors import DeviceMemoryError, ShapeError
+from repro.kernels.gaussian import GaussianKernel
+from repro.octree.interpolate import reconstruct_dense
+from repro.util.arrays import l2_relative_error
+
+
+@pytest.fixture
+def setup16(rng):
+    n, k = 16, 4
+    spec = GaussianKernel(n=n, sigma=1.2).spectrum()
+    sub = rng.standard_normal((k, k, k))
+    return n, k, spec, sub
+
+
+class TestDenseDebugPath:
+    """The uncompressed staged path must be *exact* (machine precision)."""
+
+    @pytest.mark.parametrize("corner", [(0, 0, 0), (4, 8, 12), (12, 12, 12)])
+    def test_matches_reference(self, setup16, corner):
+        n, k, spec, sub = setup16
+        lc = LocalConvolution(n, spec, SamplingPolicy(), batch=16)
+        got = lc.convolve_dense_debug(sub, corner)
+        ref = reference_subdomain_convolve(sub, corner, spec)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_batch_invariance(self, setup16):
+        n, k, spec, sub = setup16
+        outs = []
+        for batch in (1, 7, 256):
+            lc = LocalConvolution(n, spec, SamplingPolicy(), batch=batch)
+            outs.append(lc.convolve_dense_debug(sub, (4, 4, 4)))
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-12)
+        np.testing.assert_allclose(outs[0], outs[2], atol=1e-12)
+
+    def test_native_backend(self, setup16):
+        n, k, spec, sub = setup16
+        lc = LocalConvolution(n, spec, SamplingPolicy(), backend="native", batch=16)
+        ref = reference_subdomain_convolve(sub, (2, 2, 2), spec)
+        np.testing.assert_allclose(
+            lc.convolve_dense_debug(sub, (2, 2, 2)), ref, atol=1e-9
+        )
+
+
+class TestCompressedPath:
+    def test_samples_exact(self, setup16):
+        """Compression is sampling: retained values equal the exact result."""
+        n, k, spec, sub = setup16
+        lc = LocalConvolution(n, spec, SamplingPolicy.flat_rate(2), batch=32)
+        cf = lc.convolve(sub, (4, 4, 4))
+        exact = reference_subdomain_convolve(sub, (4, 4, 4), spec)
+        coords = cf.pattern.sample_coords
+        np.testing.assert_allclose(
+            cf.values, exact[coords[:, 0], coords[:, 1], coords[:, 2]], atol=1e-10
+        )
+
+    def test_lossless_when_r1(self, setup16):
+        n, k, spec, sub = setup16
+        lc = LocalConvolution(n, spec, SamplingPolicy.flat_rate(1), batch=32)
+        cf = lc.convolve(sub, (8, 4, 0))
+        rec = reconstruct_dense(cf)
+        ref = reference_subdomain_convolve(sub, (8, 4, 0), spec)
+        np.testing.assert_allclose(rec, ref, atol=1e-10)
+
+    def test_error_within_band_for_smooth_input(self):
+        n, k = 64, 16
+        spec = GaussianKernel(n=n, sigma=2.0).spectrum()
+        sub = np.ones((k, k, k))
+        pol = SamplingPolicy(r_near=2, r_mid=8, r_far=16, min_cell=2)
+        lc = LocalConvolution(n, spec, pol, batch=512)
+        cf = lc.convolve(sub, (24, 24, 24))
+        rec = reconstruct_dense(cf)
+        ref = reference_subdomain_convolve(sub, (24, 24, 24), spec)
+        assert l2_relative_error(rec, ref) < 0.03  # the paper's band
+
+    def test_on_the_fly_kernel_callable(self, setup16):
+        n, k, spec, sub = setup16
+
+        def pencils(ix, iy):
+            return spec[ix, iy, :]
+
+        lc_arr = LocalConvolution(n, spec, SamplingPolicy.flat_rate(2), batch=16)
+        lc_fn = LocalConvolution(n, pencils, SamplingPolicy.flat_rate(2), batch=16)
+        cf1 = lc_arr.convolve(sub, (4, 4, 4))
+        cf2 = lc_fn.convolve(sub, (4, 4, 4))
+        np.testing.assert_allclose(cf1.values, cf2.values, atol=1e-12)
+
+    def test_linearity(self, setup16, rng):
+        """The compressed convolution operator is linear."""
+        n, k, spec, _ = setup16
+        lc = LocalConvolution(n, spec, SamplingPolicy.flat_rate(2), batch=32)
+        a = rng.standard_normal((k, k, k))
+        b = rng.standard_normal((k, k, k))
+        ca = lc.convolve(a, (4, 4, 4)).values
+        cb = lc.convolve(b, (4, 4, 4)).values
+        cab = lc.convolve(2 * a - 3 * b, (4, 4, 4)).values
+        np.testing.assert_allclose(cab, 2 * ca - 3 * cb, atol=1e-9)
+
+
+class TestValidation:
+    def test_wrong_kernel_shape(self):
+        with pytest.raises(ShapeError):
+            LocalConvolution(16, np.zeros((8, 8, 8)), SamplingPolicy())
+
+    def test_non_cubic_needs_explicit_pattern(self, setup16):
+        """Rectangular blocks are supported, but only with a caller-supplied
+        box pattern (the cubic policy bands do not apply)."""
+        from repro.errors import ConfigurationError
+
+        n, k, spec, _ = setup16
+        lc = LocalConvolution(n, spec, SamplingPolicy())
+        with pytest.raises(ConfigurationError, match="rectangular"):
+            lc.convolve(np.zeros((4, 4, 5)), (0, 0, 0))
+
+    def test_subdomain_outside_grid(self, setup16):
+        n, k, spec, sub = setup16
+        lc = LocalConvolution(n, spec, SamplingPolicy())
+        with pytest.raises(ShapeError):
+            lc.convolve(sub, (14, 0, 0))
+
+
+class TestMemoryCharging:
+    def test_allocations_charged_and_released(self, setup16):
+        n, k, spec, sub = setup16
+        mt = MemoryTracker()
+        lc = LocalConvolution(
+            n, spec, SamplingPolicy.flat_rate(2), batch=16, memory=mt
+        )
+        lc.convolve(sub, (4, 4, 4))
+        assert mt.current_bytes == 0
+        assert mt.peak_bytes >= 16 * n * n * k  # at least the slab
+
+    def test_oom_propagates(self, setup16):
+        n, k, spec, sub = setup16
+        mt = MemoryTracker(capacity_bytes=1024)  # far too small
+        lc = LocalConvolution(
+            n, spec, SamplingPolicy.flat_rate(2), batch=16, memory=mt
+        )
+        with pytest.raises(DeviceMemoryError):
+            lc.convolve(sub, (4, 4, 4))
+        assert mt.current_bytes == 0  # everything released on unwind

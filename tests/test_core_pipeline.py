@@ -1,0 +1,143 @@
+"""Tests for accumulation and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import SimulatedComm
+from repro.core.accumulate import Accumulator, accumulate_global
+from repro.core.decomposition import DomainDecomposition
+from repro.core.local_conv import LocalConvolution
+from repro.core.pipeline import LowCommConvolution3D
+from repro.core.policy import SamplingPolicy
+from repro.core.reference import reference_convolve
+from repro.errors import CommunicationError, ConfigurationError, ShapeError
+from repro.kernels.gaussian import GaussianKernel
+from repro.util.arrays import l2_relative_error
+
+
+@pytest.fixture
+def setup32(rng):
+    n, k = 32, 8
+    spec = GaussianKernel(n=n, sigma=1.5).spectrum()
+    field = np.zeros((n, n, n))
+    field[8:24, 8:24, 8:24] = 1.0
+    return n, k, spec, field
+
+
+class TestAccumulateGlobal:
+    def test_sums_reconstructions(self, setup32):
+        n, k, spec, field = setup32
+        lc = LocalConvolution(n, spec, SamplingPolicy.flat_rate(1), batch=64)
+        d = DomainDecomposition(n, k)
+        fields = [
+            lc.convolve(d.extract(field, s), s.corner)
+            for s in d
+            if np.any(d.extract(field, s))
+        ]
+        total = accumulate_global(fields)
+        exact = reference_convolve(field, spec)
+        np.testing.assert_allclose(total, exact, atol=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accumulate_global([])
+
+
+class TestPipelineSerial:
+    def test_lossless_r1_matches_reference(self, setup32):
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(1), batch=64)
+        res = pipe.run_serial(field)
+        exact = reference_convolve(field, spec)
+        np.testing.assert_allclose(res.approx, exact, atol=1e-9)
+
+    def test_lossy_error_small_for_smooth_input(self, setup32):
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=64)
+        res = pipe.run_serial(field)
+        exact = reference_convolve(field, spec)
+        assert l2_relative_error(res.approx, exact) < 0.05
+
+    def test_zero_chunks_skipped(self, setup32):
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=64)
+        res = pipe.run_serial(field)
+        # only the 8 central sub-domains are non-zero
+        assert res.num_subdomains == 8
+
+    def test_zero_field(self, setup32):
+        n, k, spec, _ = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2))
+        res = pipe.run_serial(np.zeros((n, n, n)))
+        assert res.num_subdomains == 0
+        assert np.all(res.approx == 0)
+
+    def test_result_statistics(self, setup32):
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=64)
+        res = pipe.run_serial(field)
+        assert res.total_samples > 0
+        assert res.compressed_bytes > 0
+        assert res.compression_ratio > 1
+        assert res.elapsed_s > 0
+        assert len(res.per_domain) == res.num_subdomains
+
+    def test_shape_check(self, setup32):
+        n, k, spec, _ = setup32
+        pipe = LowCommConvolution3D(n, k, spec)
+        with pytest.raises(ShapeError):
+            pipe.run_serial(np.zeros((8, 8, 8)))
+
+
+class TestPipelineDistributed:
+    def test_matches_serial(self, setup32):
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=64)
+        serial = pipe.run_serial(field)
+        comm = SimulatedComm(4)
+        dist = pipe.run_distributed(field, comm)
+        np.testing.assert_allclose(dist.approx, serial.approx, atol=1e-12)
+
+    def test_exactly_one_collective_round(self, setup32):
+        """The Fig 1(b) claim: a single sparse exchange, no all-to-alls."""
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=64)
+        comm = SimulatedComm(4)
+        res = pipe.run_distributed(field, comm)
+        assert res.comm_rounds == 1
+        assert comm.ledger.alltoall_rounds == 0
+        assert comm.ledger.rounds_by_type.get("allgather", 0) == 1
+
+    def test_comm_bytes_less_than_dense(self, setup32):
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(4), batch=64)
+        comm = SimulatedComm(4)
+        res = pipe.run_distributed(field, comm)
+        dense_exchange = 8 * n**3 * 2  # two all-to-all stages of Eq 1
+        assert res.comm_bytes < dense_exchange
+
+    def test_single_rank(self, setup32):
+        n, k, spec, field = setup32
+        pipe = LowCommConvolution3D(n, k, spec, SamplingPolicy.flat_rate(2), batch=64)
+        comm = SimulatedComm(1)
+        res = pipe.run_distributed(field, comm)
+        serial = pipe.run_serial(field)
+        np.testing.assert_allclose(res.approx, serial.approx, atol=1e-12)
+
+
+class TestAccumulatorDistributed:
+    def test_rank_count_mismatch(self, setup32):
+        n, k, spec, field = setup32
+        acc = Accumulator(DomainDecomposition(n, k))
+        comm = SimulatedComm(4)
+        with pytest.raises(CommunicationError):
+            acc.exchange_and_accumulate([[], []], comm)
+
+    def test_assemble_covers_grid(self, setup32):
+        n, k, spec, field = setup32
+        d = DomainDecomposition(n, k)
+        acc = Accumulator(d)
+        blocks = {s.index: np.full((k, k, k), float(s.index)) for s in d}
+        out = acc.assemble(blocks)
+        for s in d:
+            assert (out[s.slices()] == s.index).all()

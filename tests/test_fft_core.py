@@ -1,0 +1,150 @@
+"""Tests for the 1D FFT substrate: bitrev, radix2, bluestein, dispatch.
+
+Cross-validation against numpy.fft plus property-based invariants
+(linearity, Parseval, roundtrip) — the transforms everything else in the
+library rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fft.bitrev import bit_reversal_permutation, bit_reverse_indices
+from repro.fft.bluestein import fft_bluestein
+from repro.fft.dft import fft1d, ifft1d
+from repro.fft.radix2 import fft_pow2, ifft_pow2
+
+
+class TestBitReversal:
+    def test_n1(self):
+        np.testing.assert_array_equal(bit_reversal_permutation(1), [0])
+
+    def test_n8(self):
+        np.testing.assert_array_equal(
+            bit_reversal_permutation(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_is_permutation(self):
+        perm = bit_reversal_permutation(64)
+        assert sorted(perm) == list(range(64))
+
+    def test_is_involution(self):
+        perm = bit_reversal_permutation(32)
+        np.testing.assert_array_equal(perm[perm], np.arange(32))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            bit_reversal_permutation(12)
+
+    def test_by_bits(self):
+        np.testing.assert_array_equal(
+            bit_reverse_indices(3), bit_reversal_permutation(8)
+        )
+
+
+class TestRadix2:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_pow2(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_inverse_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(ifft_pow2(x), np.fft.ifft(x), atol=1e-9)
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((5, 3, 16)) + 1j * rng.standard_normal((5, 3, 16))
+        np.testing.assert_allclose(fft_pow2(x), np.fft.fft(x, axis=-1), atol=1e-9)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            fft_pow2(np.zeros(12, dtype=complex))
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(16, dtype=complex)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft_pow2(x), np.ones(16), atol=1e-12)
+
+    def test_does_not_mutate_input(self, rng):
+        x = rng.standard_normal(8) + 0j
+        saved = x.copy()
+        fft_pow2(x)
+        np.testing.assert_array_equal(x, saved)
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 3, 5, 7, 12, 37, 100])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [3, 37])
+    def test_inverse_unnormalized(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        got = fft_bluestein(x, inverse=True) / n
+        np.testing.assert_allclose(got, np.fft.ifft(x), atol=1e-8)
+
+    def test_pow2_length_also_works(self, rng):
+        x = rng.standard_normal(16) + 0j
+        np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-8)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 24, 128])
+    def test_fft1d_any_length(self, n, rng):
+        x = rng.standard_normal((2, n)) + 1j * rng.standard_normal((2, n))
+        np.testing.assert_allclose(fft1d(x), np.fft.fft(x, axis=-1), atol=1e-8)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2, -1])
+    def test_axis_argument(self, axis, rng):
+        x = rng.standard_normal((4, 6, 8)) + 0j
+        np.testing.assert_allclose(
+            fft1d(x, axis=axis), np.fft.fft(x, axis=axis), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("n", [5, 16])
+    def test_roundtrip(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(ifft1d(fft1d(x)), x, atol=1e-8)
+
+    # -- property-based invariants --------------------------------------------
+    @given(st.integers(min_value=1, max_value=64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, n, seed):
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(n) + 1j * r.standard_normal(n)
+        y = r.standard_normal(n) + 1j * r.standard_normal(n)
+        a, b = 2.5, -1.5 + 0.5j
+        np.testing.assert_allclose(
+            fft1d(a * x + b * y), a * fft1d(x) + b * fft1d(y), atol=1e-7
+        )
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_parseval(self, n, seed):
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(n) + 1j * r.standard_normal(n)
+        energy_time = np.sum(np.abs(x) ** 2)
+        energy_freq = np.sum(np.abs(fft1d(x)) ** 2) / n
+        assert energy_freq == pytest.approx(energy_time, rel=1e-8)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n, seed):
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(n) + 1j * r.standard_normal(n)
+        np.testing.assert_allclose(ifft1d(fft1d(x)), x, atol=1e-7)
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_theorem(self, n, seed):
+        """Circular shift in time = linear phase in frequency."""
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(n) + 1j * r.standard_normal(n)
+        shift = int(r.integers(0, n))
+        shifted = np.roll(x, shift)
+        phase = np.exp(-2j * np.pi * shift * np.arange(n) / n)
+        np.testing.assert_allclose(fft1d(shifted), fft1d(x) * phase, atol=1e-7)

@@ -1,0 +1,57 @@
+"""Tests for FFT plan objects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.fft.plan import FFTPlan, plan_fft3, plan_pruned_conv
+from repro.fft.pruned import slab_from_subcube
+
+
+class TestPlanFFT3:
+    def test_executes_forward(self, rng):
+        x = rng.standard_normal((8, 8, 8))
+        plan = plan_fft3(8)
+        np.testing.assert_allclose(plan.execute(x), np.fft.fftn(x), atol=1e-8)
+
+    def test_executes_inverse(self, rng):
+        x = rng.standard_normal((8, 8, 8)) + 0j
+        plan = plan_fft3(8, inverse=True)
+        np.testing.assert_allclose(plan.execute(x), np.fft.ifftn(x), atol=1e-8)
+
+    def test_workspace_estimate(self):
+        assert plan_fft3(64).workspace_bytes == 64**3 * 16
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(PlanError):
+            plan_fft3(8).execute(np.zeros((4, 4, 4)))
+
+
+class TestPlanPrunedConv:
+    def test_executes_slab(self, rng):
+        sub = rng.standard_normal((4, 4, 4))
+        plan = plan_pruned_conv(16, 4, corner=(2, 3, 1))
+        got = plan.execute(sub)
+        np.testing.assert_allclose(
+            got, slab_from_subcube(sub, (2, 3, 1), 16), atol=1e-10
+        )
+
+    def test_workspace_includes_slab_and_batch(self):
+        plan = plan_pruned_conv(64, 8, batch=32)
+        assert plan.workspace_bytes == 16 * (64 * 64 * 8) + 16 * 32 * 64
+
+    def test_rejects_k_gt_n(self):
+        with pytest.raises(PlanError):
+            plan_pruned_conv(8, 16)
+
+    def test_wrong_sub_shape_raises(self):
+        plan = plan_pruned_conv(16, 4)
+        with pytest.raises(PlanError):
+            plan.execute(np.zeros((5, 5, 5)))
+
+
+class TestUnknownKind:
+    def test_raises(self):
+        plan = FFTPlan(kind="bogus", shape=(4, 4, 4))
+        with pytest.raises(PlanError):
+            plan.execute(np.zeros((4, 4, 4)))

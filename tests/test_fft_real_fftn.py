@@ -1,0 +1,112 @@
+"""Tests for real transforms, N-D transforms, and the backend registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.fft.backend import available_backends, get_backend, register_backend
+from repro.fft.fftn import fft3, fftn, ifft3, ifftn
+from repro.fft.real import irfft1d, rfft1d
+
+
+class TestReal:
+    @pytest.mark.parametrize("n", [2, 7, 16, 24])
+    def test_rfft_matches_numpy(self, n, rng):
+        x = rng.standard_normal((3, n))
+        np.testing.assert_allclose(rfft1d(x), np.fft.rfft(x, axis=-1), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [2, 7, 16, 24])
+    def test_roundtrip(self, n, rng):
+        x = rng.standard_normal((2, n))
+        np.testing.assert_allclose(irfft1d(rfft1d(x), n), x, atol=1e-8)
+
+    def test_axis_argument(self, rng):
+        x = rng.standard_normal((8, 5))
+        np.testing.assert_allclose(
+            rfft1d(x, axis=0), np.fft.rfft(x, axis=0), atol=1e-8
+        )
+
+    def test_rfft_rejects_complex(self):
+        with pytest.raises(ShapeError):
+            rfft1d(np.zeros(4, dtype=complex))
+
+    def test_irfft_rejects_wrong_length(self):
+        with pytest.raises(ShapeError):
+            irfft1d(np.zeros(5, dtype=complex), 16)
+
+    def test_half_spectrum_length(self, rng):
+        x = rng.standard_normal(10)
+        assert rfft1d(x).shape[-1] == 6
+
+
+class TestFFTN:
+    @pytest.mark.parametrize("backend", ["native", "numpy"])
+    def test_fft3_matches_numpy(self, backend, rng):
+        x = rng.standard_normal((8, 8, 8))
+        np.testing.assert_allclose(
+            fft3(x, backend=backend), np.fft.fftn(x), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("backend", ["native", "numpy"])
+    def test_roundtrip(self, backend, rng):
+        x = rng.standard_normal((4, 4, 4)) + 1j * rng.standard_normal((4, 4, 4))
+        np.testing.assert_allclose(
+            ifft3(fft3(x, backend=backend), backend=backend), x, atol=1e-8
+        )
+
+    def test_non_cubic_fftn(self, rng):
+        x = rng.standard_normal((4, 6, 8))
+        np.testing.assert_allclose(fftn(x), np.fft.fftn(x), atol=1e-8)
+
+    def test_partial_axes(self, rng):
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            fftn(x, axes=(1,)), np.fft.fft(x, axis=1), atol=1e-8
+        )
+
+    def test_ifftn_partial_axes(self, rng):
+        x = rng.standard_normal((4, 6)) + 0j
+        np.testing.assert_allclose(
+            ifftn(x, axes=(0,)), np.fft.ifft(x, axis=0), atol=1e-8
+        )
+
+    def test_fft3_rejects_rank2(self):
+        with pytest.raises(ValueError):
+            fft3(np.zeros((4, 4)))
+
+    def test_backends_agree(self, rng):
+        x = rng.standard_normal((8, 8, 8))
+        np.testing.assert_allclose(
+            fft3(x, backend="native"), fft3(x, backend="numpy"), atol=1e-8
+        )
+
+
+class TestBackendRegistry:
+    def test_builtins_present(self):
+        assert "native" in available_backends()
+        assert "numpy" in available_backends()
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("nonexistent")
+
+    def test_get_passthrough(self):
+        be = get_backend("numpy")
+        assert get_backend(be) is be
+
+    def test_register_custom(self, rng):
+        calls = []
+
+        def myfft(x, axis=-1):
+            calls.append(axis)
+            return np.fft.fft(x, axis=axis)
+
+        register_backend("counting", myfft, lambda x, axis=-1: np.fft.ifft(x, axis=axis))
+        x = rng.standard_normal((4, 4, 4))
+        fft3(x, backend="counting")
+        assert len(calls) == 3  # three 1D sweeps
+        assert "counting" in available_backends()
+
+    def test_register_empty_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("", lambda x, a: x, lambda x, a: x)

@@ -1,0 +1,103 @@
+"""Tests for grain orientations and polycrystal stiffness fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.kernels.green_massif import LameParameters
+from repro.massif.elasticity import cubic_stiffness, isotropic_stiffness
+from repro.massif.orientation import (
+    polycrystal_stiffness_field,
+    random_rotation,
+    rotate_stiffness,
+)
+from repro.massif.solver import MassifSolver
+
+
+class TestRandomRotation:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_is_rotation(self, seed):
+        r = random_rotation(np.random.default_rng(seed))
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_deterministic_with_seed(self):
+        a = random_rotation(np.random.default_rng(3))
+        b = random_rotation(np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_orientations_spread(self):
+        """Rotated x-axes cover the sphere (no obvious bias)."""
+        rng = np.random.default_rng(0)
+        axes = np.array([random_rotation(rng)[:, 0] for _ in range(500)])
+        mean = axes.mean(axis=0)
+        assert np.linalg.norm(mean) < 0.15
+
+
+class TestRotateStiffness:
+    def test_isotropic_invariant(self):
+        """Isotropic stiffness is unchanged by any rotation."""
+        c = isotropic_stiffness(LameParameters(lam=1.0, mu=0.6))
+        r = random_rotation(np.random.default_rng(1))
+        np.testing.assert_allclose(rotate_stiffness(c, r), c, atol=1e-10)
+
+    def test_cubic_changed_by_generic_rotation(self):
+        c = cubic_stiffness(3.0, 1.0, 0.5)
+        r = random_rotation(np.random.default_rng(2))
+        assert not np.allclose(rotate_stiffness(c, r), c, atol=1e-6)
+
+    def test_cubic_invariant_under_axis_permutation(self):
+        """90-degree rotations are in the cubic symmetry group."""
+        c = cubic_stiffness(3.0, 1.0, 0.5)
+        r90 = np.array([[0, -1, 0], [1, 0, 0], [0, 0, 1]], dtype=float)
+        np.testing.assert_allclose(rotate_stiffness(c, r90), c, atol=1e-12)
+
+    def test_composition(self):
+        c = cubic_stiffness(3.0, 1.0, 0.5)
+        rng = np.random.default_rng(4)
+        r1, r2 = random_rotation(rng), random_rotation(rng)
+        a = rotate_stiffness(rotate_stiffness(c, r1), r2)
+        b = rotate_stiffness(c, r2 @ r1)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_preserves_symmetries(self):
+        c = cubic_stiffness(3.0, 1.0, 0.5)
+        cr = rotate_stiffness(c, random_rotation(np.random.default_rng(5)))
+        np.testing.assert_allclose(cr, cr.transpose(1, 0, 2, 3), atol=1e-12)
+        np.testing.assert_allclose(cr, cr.transpose(0, 1, 3, 2), atol=1e-12)
+        np.testing.assert_allclose(cr, cr.transpose(2, 3, 0, 1), atol=1e-12)
+
+    def test_non_orthogonal_rejected(self):
+        c = cubic_stiffness(3.0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            rotate_stiffness(c, 2 * np.eye(3))
+
+    def test_shape_checks(self):
+        with pytest.raises(ShapeError):
+            rotate_stiffness(np.zeros((3, 3)), np.eye(3))
+        with pytest.raises(ShapeError):
+            rotate_stiffness(np.zeros((3, 3, 3, 3)), np.eye(4))
+
+
+class TestPolycrystalField:
+    def test_builds_and_solves(self):
+        crystal = cubic_stiffness(3.0, 1.2, 0.8)
+        sf = polycrystal_stiffness_field(
+            8, 5, crystal, rng=np.random.default_rng(6)
+        )
+        assert sf.num_phases == 5
+        macro = np.zeros((3, 3))
+        macro[0, 1] = macro[1, 0] = 0.01
+        rep = MassifSolver(sf, tol=1e-3, max_iter=500).solve(macro)
+        assert rep.converged
+
+    def test_grain_count(self):
+        crystal = cubic_stiffness(3.0, 1.2, 0.8)
+        sf = polycrystal_stiffness_field(
+            8, 4, crystal, rng=np.random.default_rng(7)
+        )
+        assert len(sf.phase_tensors) == 4
+        assert int(sf.phase_map.max()) <= 3

@@ -1,0 +1,134 @@
+"""Tests for octree cells and the 5-int metadata codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.octree.cell import (
+    METADATA_INTS_PER_CELL,
+    OctreeCell,
+    decode_metadata,
+    encode_metadata,
+)
+
+
+class TestOctreeCell:
+    def test_dense_cell_samples_everything(self):
+        c = OctreeCell(corner=(0, 0, 0), size=4, rate=1)
+        assert c.samples_per_axis == 4
+        assert c.sample_count == 64
+
+    def test_rate_two_with_clamped_edge(self):
+        # size 8 rate 2: strides 0,2,4,6 then clamp adds 7
+        c = OctreeCell(corner=(0, 0, 0), size=8, rate=2)
+        np.testing.assert_array_equal(c.axis_coords(0), [0, 2, 4, 6, 7])
+        assert c.samples_per_axis == 5
+
+    def test_exact_stride_no_clamp(self):
+        # size 9 rate 2: 0,2,4,6,8 — 8 is the far face already
+        c = OctreeCell(corner=(0, 0, 0), size=9, rate=2)
+        np.testing.assert_array_equal(c.axis_coords(0), [0, 2, 4, 6, 8])
+
+    def test_single_point_cell(self):
+        c = OctreeCell(corner=(3, 3, 3), size=1, rate=1)
+        assert c.sample_count == 1
+        np.testing.assert_array_equal(c.sample_coords(), [[3, 3, 3]])
+
+    def test_rate_equals_size(self):
+        c = OctreeCell(corner=(0, 0, 0), size=4, rate=4)
+        np.testing.assert_array_equal(c.axis_coords(0), [0, 3])
+
+    def test_coords_absolute(self):
+        c = OctreeCell(corner=(10, 20, 30), size=2, rate=1)
+        coords = c.sample_coords()
+        assert coords[:, 0].min() == 10
+        assert coords[:, 1].min() == 20
+        assert coords[:, 2].min() == 30
+
+    def test_contains(self):
+        c = OctreeCell(corner=(4, 4, 4), size=4, rate=1)
+        assert c.contains((4, 7, 5))
+        assert not c.contains((8, 4, 4))
+        assert not c.contains((3, 4, 4))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            OctreeCell(corner=(0, 0, 0), size=0, rate=1)
+        with pytest.raises(ConfigurationError):
+            OctreeCell(corner=(0, 0, 0), size=4, rate=0)
+        with pytest.raises(ConfigurationError):
+            OctreeCell(corner=(-1, 0, 0), size=4, rate=1)
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sample_count_matches_coords(self, size, rate):
+        c = OctreeCell(corner=(0, 0, 0), size=size, rate=rate)
+        assert c.sample_count == len(c.sample_coords())
+        assert c.samples_per_axis == len(c.axis_coords(0))
+        # far face always covered
+        assert c.axis_coords(0)[-1] == size - 1
+
+
+class TestMetadataCodec:
+    def _cells(self):
+        return [
+            OctreeCell(corner=(0, 0, 0), size=4, rate=1),
+            OctreeCell(corner=(4, 0, 0), size=4, rate=2),
+            OctreeCell(corner=(0, 4, 0), size=8, rate=4),
+        ]
+
+    def test_layout_five_ints(self):
+        meta = encode_metadata(self._cells())
+        assert meta.dtype == np.int32
+        assert meta.size == 3 * METADATA_INTS_PER_CELL
+
+    def test_cumulative_counts(self):
+        cells = self._cells()
+        meta = encode_metadata(cells)
+        assert meta[4] == 0
+        assert meta[9] == cells[0].sample_count
+        assert meta[14] == cells[0].sample_count + cells[1].sample_count
+
+    def test_roundtrip(self):
+        cells = self._cells()
+        meta = encode_metadata(cells)
+        decoded = decode_metadata(meta, [c.size for c in cells])
+        assert decoded == cells
+
+    def test_corrupted_cumulative_detected(self):
+        cells = self._cells()
+        meta = encode_metadata(cells).copy()
+        meta[9] += 1
+        with pytest.raises(ConfigurationError, match="cumulative"):
+            decode_metadata(meta, [c.size for c in cells])
+
+    def test_wrong_length_detected(self):
+        with pytest.raises(ConfigurationError):
+            decode_metadata(np.zeros(7, dtype=np.int32), [1])
+
+    def test_size_count_mismatch(self):
+        meta = encode_metadata(self._cells())
+        with pytest.raises(ConfigurationError):
+            decode_metadata(meta, [4, 4])
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=1, max_value=16),
+            st.integers(min_value=1, max_value=16),
+        ),
+        min_size=1,
+        max_size=20,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, specs):
+        cells = [
+            OctreeCell(corner=(c, c, c), size=s, rate=r) for c, s, r in specs
+        ]
+        decoded = decode_metadata(encode_metadata(cells), [c.size for c in cells])
+        assert decoded == cells

@@ -1,0 +1,176 @@
+"""Tests for the wire format and the a-priori error bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.local_conv import LocalConvolution
+from repro.core.policy import SamplingPolicy
+from repro.core.reference import reference_subdomain_convolve
+from repro.errors import ConfigurationError
+from repro.kernels.gaussian import GaussianKernel
+from repro.octree.compress import CompressedField
+from repro.octree.error_bounds import (
+    hessian_magnitude,
+    pipeline_error_bound,
+    radial_hessian_envelope,
+    trilinear_cell_bound,
+)
+from repro.octree.interpolate import reconstruct_dense
+from repro.octree.sampling import build_adaptive_pattern, build_flat_pattern
+from repro.octree.serialize import deserialize_compressed, serialize_compressed
+from repro.util.arrays import l2_relative_error
+
+
+@pytest.fixture
+def compressed_field(rng):
+    pat = build_flat_pattern(16, 4, (4, 8, 0), r=2)
+    dense = rng.standard_normal((16, 16, 16))
+    return CompressedField.from_dense(dense, pat)
+
+
+class TestSerialization:
+    def test_roundtrip_values(self, compressed_field):
+        payload = serialize_compressed(compressed_field)
+        back = deserialize_compressed(payload)
+        np.testing.assert_array_equal(back.values, compressed_field.values)
+
+    def test_roundtrip_pattern(self, compressed_field):
+        back = deserialize_compressed(serialize_compressed(compressed_field))
+        assert back.pattern.n == compressed_field.pattern.n
+        assert back.pattern.subdomain_corner == (4, 8, 0)
+        assert back.pattern.subdomain_size == 4
+        assert back.pattern.cells == compressed_field.pattern.cells
+
+    def test_roundtrip_reconstruction_identical(self, compressed_field):
+        back = deserialize_compressed(serialize_compressed(compressed_field))
+        np.testing.assert_allclose(
+            reconstruct_dense(back),
+            reconstruct_dense(compressed_field),
+            atol=1e-14,
+        )
+
+    def test_bad_magic(self, compressed_field):
+        payload = bytearray(serialize_compressed(compressed_field))
+        payload[0] ^= 0xFF
+        with pytest.raises(ConfigurationError, match="magic"):
+            deserialize_compressed(bytes(payload))
+
+    def test_truncated_payload(self, compressed_field):
+        payload = serialize_compressed(compressed_field)
+        with pytest.raises(ConfigurationError):
+            deserialize_compressed(payload[:-16])
+
+    def test_too_short_for_header(self):
+        with pytest.raises(ConfigurationError):
+            deserialize_compressed(b"abc")
+
+    def test_corrupted_metadata_detected(self, compressed_field):
+        payload = bytearray(serialize_compressed(compressed_field))
+        # cumulative-count field of the second cell sits at header + 9 int32
+        offset = 9 * 8 + 9 * 4
+        payload[offset] ^= 0x01
+        with pytest.raises(ConfigurationError):
+            deserialize_compressed(bytes(payload))
+
+    def test_float32_roundtrip(self, compressed_field):
+        payload64 = serialize_compressed(compressed_field)
+        payload32 = serialize_compressed(compressed_field, precision="float32")
+        assert len(payload32) < len(payload64)
+        back = deserialize_compressed(payload32)
+        np.testing.assert_allclose(
+            back.values, compressed_field.values, rtol=1e-6, atol=1e-6
+        )
+        assert back.values.dtype == np.float64  # promoted on decode
+
+    def test_float32_payload_half_values(self, compressed_field):
+        m = compressed_field.pattern.sample_count
+        payload64 = serialize_compressed(compressed_field)
+        payload32 = serialize_compressed(compressed_field, precision="float32")
+        assert len(payload64) - len(payload32) == 4 * m
+
+    def test_unknown_precision_rejected(self, compressed_field):
+        with pytest.raises(ConfigurationError):
+            serialize_compressed(compressed_field, precision="float16")
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, seed):
+        r = np.random.default_rng(seed)
+        pat = build_adaptive_pattern(
+            16, 4, (4, 4, 4), r_near=2, r_mid=4, r_far=4, min_cell=2
+        )
+        cf = CompressedField.from_dense(r.standard_normal((16, 16, 16)), pat)
+        back = deserialize_compressed(serialize_compressed(cf))
+        np.testing.assert_array_equal(back.values, cf.values)
+        assert back.pattern.cells == cf.pattern.cells
+
+
+class TestErrorBounds:
+    def test_trilinear_bound_formula(self):
+        assert trilinear_cell_bound(2.0, 0.5) == pytest.approx(0.375 * 4 * 0.5)
+
+    def test_trilinear_bound_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            trilinear_cell_bound(-1.0, 1.0)
+
+    def test_hessian_of_linear_field_is_zero(self):
+        n = 8
+        x = np.arange(n, dtype=float)
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        field = 2 * X - Y + 0.5 * Z
+        # interior points (periodic wrap pollutes the boundary)
+        h = hessian_magnitude(field)
+        assert np.max(h[2:-2, 2:-2, 2:-2]) < 1e-10
+
+    def test_hessian_of_quadratic(self):
+        n = 16
+        x = np.arange(n, dtype=float)
+        X, _, _ = np.meshgrid(x, x, x, indexing="ij")
+        field = X**2
+        h = hessian_magnitude(field)
+        # d2/dx2 = 2 everywhere away from the wrap
+        assert h[5, 5, 5] == pytest.approx(2.0, abs=1e-10)
+
+    def test_envelope_is_monotone(self):
+        g = GaussianKernel(n=32, sigma=2.0).spatial()
+        _radii, env = radial_hessian_envelope(g)
+        assert (np.diff(env) <= 1e-12).all()
+
+    def test_bound_dominates_measured_error(self):
+        """The a-priori bound is an upper bound on the real L2 error."""
+        n, k = 32, 8
+        kernel = GaussianKernel(n=n, sigma=2.0)
+        spec = kernel.spectrum()
+        sub = np.ones((k, k, k))
+        corner = (12, 12, 12)
+        pol = SamplingPolicy.flat_rate(4)
+        pattern = pol.pattern_for(n, k, corner)
+        lc = LocalConvolution(n, spec, pol, batch=256)
+        cf = lc.convolve(sub, corner, pattern=pattern)
+        rec = reconstruct_dense(cf)
+        exact = reference_subdomain_convolve(sub, corner, spec)
+        measured_l2 = float(np.linalg.norm(rec - exact))
+        bound = pipeline_error_bound(pattern, kernel.spatial(), input_l1=float(k**3))
+        assert measured_l2 <= bound
+
+    def test_bound_shrinks_with_finer_rates(self):
+        n, k = 32, 8
+        kernel = GaussianKernel(n=n, sigma=2.0).spatial()
+        bounds = []
+        for r in (2, 4, 8):
+            pat = build_flat_pattern(n, k, (12, 12, 12), r=r)
+            bounds.append(pipeline_error_bound(pat, kernel, input_l1=512.0))
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_dense_pattern_bound_zero(self):
+        pat = build_flat_pattern(16, 4, (4, 4, 4), r=1)
+        g = GaussianKernel(n=16, sigma=1.0).spatial()
+        assert pipeline_error_bound(pat, g, input_l1=10.0) == 0.0
+
+    def test_negative_l1_rejected(self):
+        pat = build_flat_pattern(16, 4, (4, 4, 4), r=2)
+        g = GaussianKernel(n=16, sigma=1.0).spatial()
+        with pytest.raises(ConfigurationError):
+            pipeline_error_bound(pat, g, input_l1=-1.0)

@@ -1,0 +1,57 @@
+"""Unit tests for repro.util.timing."""
+
+import pytest
+
+from repro.util.timing import SimClock, WallTimer
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5, "comm")
+        clock.advance(0.5, "compute")
+        assert clock.now == pytest.approx(2.0)
+
+    def test_category_totals(self):
+        clock = SimClock()
+        clock.advance(1.0, "comm")
+        clock.advance(2.0, "comm")
+        clock.advance(3.0, "compute")
+        assert clock.category_total("comm") == pytest.approx(3.0)
+        assert clock.category_total("compute") == pytest.approx(3.0)
+        assert clock.category_total("missing") == 0.0
+
+    def test_breakdown_is_copy(self):
+        clock = SimClock()
+        clock.advance(1.0, "a")
+        b = clock.breakdown()
+        b["a"] = 99.0
+        assert clock.category_total("a") == pytest.approx(1.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(5.0, "x")
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.category_total("x") == 0.0
+
+
+class TestWallTimer:
+    def test_measures_nonnegative(self):
+        with WallTimer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_set_after_exit(self):
+        t = WallTimer()
+        assert t.elapsed == 0.0
+        with t:
+            pass
+        assert t.elapsed > 0.0
