@@ -41,7 +41,7 @@ def accumulate_global(
             raise ConfigurationError(
                 f"mixed grid sizes in accumulation: {f.pattern.n} vs {n}"
             )
-        out += reconstruct_box(f, (0, 0, 0), (n, n, n), method=method)
+        reconstruct_box(f, (0, 0, 0), (n, n, n), method=method, out=out)
     return out
 
 
@@ -113,8 +113,8 @@ class Accumulator:
             for target in rank_subs:
                 acc = np.zeros((k, k, k), dtype=np.float64)
                 for _src, field in all_fields:
-                    acc += reconstruct_box(
-                        field, target.corner, (k, k, k), method=self.method
+                    reconstruct_box(
+                        field, target.corner, (k, k, k), method=self.method, out=acc
                     )
                 blocks[target.index] = acc
         return blocks

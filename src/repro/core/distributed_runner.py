@@ -68,15 +68,27 @@ class DistributedLowCommConvolution:
         device: Device = V100_32GB,
         link: Optional[Link] = None,
         batch: Optional[int] = None,
+        real_kernel: Optional[bool] = None,
     ):
         self.pipeline = LowCommConvolution3D(
-            n, k, kernel_spectrum, policy, batch=batch
+            n, k, kernel_spectrum, policy, batch=batch, real_kernel=real_kernel
         )
         self.device = device
         self.link = link or Link()
         self.policy = self.pipeline.policy
 
-    def run(self, field: np.ndarray, num_ranks: int) -> DistributedRunReport:
+    def run(
+        self,
+        field: np.ndarray,
+        num_ranks: int,
+        max_workers: Optional[int] = None,
+    ) -> DistributedRunReport:
+        """Run across ``num_ranks`` simulated ranks.
+
+        ``max_workers`` (optional) executes the local numerics on a real
+        process pool via :meth:`LowCommConvolution3D.run_parallel`'s
+        machinery; the simulated communication accounting is unchanged.
+        """
         if num_ranks < 1:
             raise ConfigurationError(f"need >= 1 rank, got {num_ranks}")
         n = self.pipeline.n
@@ -84,7 +96,7 @@ class DistributedLowCommConvolution:
         comm = SimulatedComm(
             num_ranks, network=Network(num_ranks, self.link)
         )
-        result = self.pipeline.run_distributed(field, comm)
+        result = self.pipeline.run_distributed(field, comm, max_workers=max_workers)
 
         # Charge modeled per-chunk compute time to each owning rank.
         r = self.policy.average_rate()

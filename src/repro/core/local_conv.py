@@ -14,6 +14,18 @@ This is the operation Fig 2 draws inside one worker:
 4. the octree samples are gathered from the final box into a
    :class:`~repro.octree.compress.CompressedField`.
 
+All data-independent state (partial-iDFT matrices, pad scratch buffers,
+the resolved backend, pencil index arrays) lives in a
+:class:`~repro.fft.pruned_plan.PrunedPlan`, built once per (pattern,
+backend) configuration and shared across congruent sub-domains.
+
+When the kernel spectrum is real (Green's-function kernels — detected
+automatically for dense spectra, or asserted with ``real_kernel=True``),
+the **Hermitian fast path** runs the whole staged transform on the
+``n//2 + 1`` non-redundant x-frequency rows: rfft-based slab, half the
+z-pencils and pointwise multiplies, and a Hermitian-aware final x stage —
+roughly halving flops and the ``8*N*N*k`` slab working set of Table 1.
+
 An optional :class:`~repro.cluster.memory.MemoryTracker` is charged for
 every buffer, so running this on a simulated GPU reproduces the
 memory-capacity behaviour of Tables 2 and 4 with the *real* allocation
@@ -29,18 +41,16 @@ import numpy as np
 from repro.cluster.memory import MemoryTracker
 from repro.errors import ConfigurationError, ShapeError
 from repro.fft.backend import Backend, get_backend
-from repro.fft.pruned import (
-    partial_idft,
-    pencil_batches,
-    slab_from_subcube,
-    zstage_batch,
-)
+from repro.fft.pruned import pencil_batches
+from repro.fft.pruned_plan import PlanCache, PrunedPlan
+from repro.kernels.properties import spectrum_is_hermitian_real
 from repro.core.policy import SamplingPolicy
 from repro.octree.compress import CompressedField
 from repro.octree.sampling import SamplingPattern
 from repro.util.validation import check_positive_int
 
 COMPLEX_BYTES = 16
+REAL_BYTES = 8
 
 #: Kernel spectrum: either the dense ``n^3`` array or a callable
 #: ``(ix, iy) -> (len(ix), n)`` returning spectrum pencils on the fly
@@ -65,6 +75,15 @@ class LocalConvolution:
         z-pencil batch size ``B`` (paper §5.4); defaults to ``n``.
     memory:
         Optional device memory tracker to charge allocations against.
+    real_kernel:
+        ``True`` asserts the kernel spectrum is real/Hermitian and enables
+        the half-spectrum fast path; ``False`` forces the complex path;
+        ``None`` (default) auto-detects for dense spectra via
+        :func:`~repro.kernels.properties.spectrum_is_hermitian_real`
+        (callables default to the complex path).
+    plans:
+        Optional shared :class:`~repro.fft.pruned_plan.PlanCache`; one is
+        created per instance otherwise.
     """
 
     def __init__(
@@ -75,20 +94,40 @@ class LocalConvolution:
         backend: str | Backend = "numpy",
         batch: Optional[int] = None,
         memory: Optional[MemoryTracker] = None,
+        real_kernel: Optional[bool] = None,
+        plans: Optional[PlanCache] = None,
     ):
         self.n = check_positive_int(n, "n")
         self.policy = policy
         self.backend = get_backend(backend)
         self.batch = check_positive_int(batch, "batch") if batch else n
         self.memory = memory
+        self.plans = plans if plans is not None else PlanCache()
+        self._kernel_flat: Optional[np.ndarray] = None
         if callable(kernel_spectrum):
             self._kernel_fn = kernel_spectrum
+            self.real_kernel = bool(real_kernel) if real_kernel is not None else False
         else:
             spec = np.asarray(kernel_spectrum)
             if spec.shape != (n, n, n):
                 raise ShapeError(
                     f"kernel spectrum shape {spec.shape} != ({n},)*3"
                 )
+            if real_kernel is None:
+                self.real_kernel = spectrum_is_hermitian_real(spec)
+            elif real_kernel and not spectrum_is_hermitian_real(spec):
+                raise ConfigurationError(
+                    "real_kernel=True but the kernel spectrum is not "
+                    "real/centrosymmetric; the Hermitian fast path would "
+                    "be inexact"
+                )
+            else:
+                self.real_kernel = bool(real_kernel)
+            # Flat (n*n, n) view: pencil batches are contiguous row
+            # slices, so the z-stage multiply slices without fancy
+            # indexing.  The Hermitian path's half rows [0, (n//2+1)*n)
+            # occupy a prefix of the same layout.
+            self._kernel_flat = spec.reshape(n * n, n)
             self._kernel_fn = self._make_array_kernel_fn(spec)
 
     @staticmethod
@@ -124,17 +163,19 @@ class LocalConvolution:
                     "pattern (see build_box_pattern)"
                 )
             pattern = self.policy.pattern_for(self.n, k, corner)
-        coords_x = pattern.axis_coordinate_set(0)
-        coords_y = pattern.axis_coordinate_set(1)
-        coords_z = pattern.axis_coordinate_set(2)
+        plan = self._plan_for(
+            pattern.axis_coordinate_set(0),
+            pattern.axis_coordinate_set(1),
+            pattern.axis_coordinate_set(2),
+        )
 
-        box = self._staged_convolve(sub, corner, coords_x, coords_y, coords_z)
+        box = self._staged_convolve(sub, corner, plan)
 
         # Gather the octree samples out of the (|X|, |Y|, |Z|) box.
         sc = pattern.sample_coords
-        ax = np.searchsorted(coords_x, sc[:, 0])
-        ay = np.searchsorted(coords_y, sc[:, 1])
-        az = np.searchsorted(coords_z, sc[:, 2])
+        ax = np.searchsorted(plan.coords_x, sc[:, 0])
+        ay = np.searchsorted(plan.coords_y, sc[:, 1])
+        az = np.searchsorted(plan.coords_z, sc[:, 2])
         values = box[ax, ay, az]
         return CompressedField(pattern=pattern, values=np.real(values))
 
@@ -148,45 +189,66 @@ class LocalConvolution:
         """
         sub, corner = self._validate(sub, corner)
         full = np.arange(self.n, dtype=np.intp)
-        box = self._staged_convolve(sub, corner, full, full, full)
+        box = self._staged_convolve(sub, corner, self._plan_for(full, full, full))
         return np.real(box)
 
     # -- stages -------------------------------------------------------------
+    def _plan_for(
+        self, coords_x: np.ndarray, coords_y: np.ndarray, coords_z: np.ndarray
+    ) -> PrunedPlan:
+        return self.plans.get(
+            self.n,
+            coords_x,
+            coords_y,
+            coords_z,
+            backend=self.backend,
+            hermitian=self.real_kernel,
+        )
+
+    def _kernel_pencils(self, plan: PrunedPlan, sl: slice) -> np.ndarray:
+        if self._kernel_flat is not None:
+            kp = self._kernel_flat[sl]
+        else:
+            kp = self._kernel_fn(plan.pencil_ix[sl], plan.pencil_iy[sl])
+        if plan.hermitian:
+            kp = np.real(kp)
+        return kp
+
     def _staged_convolve(
         self,
         sub: np.ndarray,
         corner: Tuple[int, int, int],
-        coords_x: np.ndarray,
-        coords_y: np.ndarray,
-        coords_z: np.ndarray,
+        plan: PrunedPlan,
     ) -> np.ndarray:
         n = self.n
         k = sub.shape[2]  # slab keeps the z extent spatial
         cz = corner[2]
+        rows = plan.slab_rows  # n, or n//2+1 on the Hermitian fast path
 
-        with self._charge("slab", COMPLEX_BYTES * n * n * k):
-            slab = slab_from_subcube(sub, corner, n, backend=self.backend)
-            flat = slab.reshape(n * n, k)
+        with self._charge("slab", COMPLEX_BYTES * rows * n * k):
+            slab = plan.forward_slab(sub, corner)
+            flat = slab.reshape(plan.num_pencils, k)
 
-            sz = len(coords_z)
-            with self._charge("z_sampled", COMPLEX_BYTES * n * n * sz):
-                zred = np.empty((n * n, sz), dtype=np.complex128)
-                ix_all, iy_all = np.divmod(np.arange(n * n, dtype=np.intp), n)
+            sz = plan.mz
+            with self._charge("z_sampled", COMPLEX_BYTES * plan.num_pencils * sz):
+                zred = np.empty((plan.num_pencils, sz), dtype=np.complex128)
                 with self._charge("pencil_batch", COMPLEX_BYTES * self.batch * n * 2):
-                    for sl in pencil_batches(n * n, self.batch):
-                        spec = zstage_batch(flat[sl], cz, n, backend=self.backend)
-                        spec *= self._kernel_fn(ix_all[sl], iy_all[sl])
-                        zred[sl] = partial_idft(spec, coords_z, axis=1)
+                    for sl in pencil_batches(plan.num_pencils, self.batch):
+                        spec = plan.zstage(flat[sl], cz)
+                        spec *= self._kernel_pencils(plan, sl)
+                        zred[sl] = plan.idft_z(spec)
 
-                zred = zred.reshape(n, n, sz)
+                zred = zred.reshape(rows, n, sz)
                 # Inverse y stage, pruned to the retained y coordinates.
-                sy = len(coords_y)
-                with self._charge("y_sampled", COMPLEX_BYTES * n * sy * sz):
-                    yred = partial_idft(zred, coords_y, axis=1)
-                    # Inverse x stage, pruned to the retained x coordinates.
-                    sx = len(coords_x)
-                    with self._charge("x_sampled", COMPLEX_BYTES * sx * sy * sz):
-                        box = partial_idft(yred, coords_x, axis=0)
+                sy = plan.my
+                with self._charge("y_sampled", COMPLEX_BYTES * rows * sy * sz):
+                    yred = plan.idft_y(zred)
+                    # Inverse x stage, pruned to the retained x coordinates
+                    # (Hermitian-aware on the fast path: real output).
+                    sx = plan.mx
+                    out_bytes = REAL_BYTES if plan.hermitian else COMPLEX_BYTES
+                    with self._charge("x_sampled", out_bytes * sx * sy * sz):
+                        box = plan.idft_x(yred)
         return box
 
     # -- helpers -------------------------------------------------------------

@@ -6,11 +6,17 @@
 - local pruned compressed convolution of each sub-domain,
 - one sparse exchange + interpolation to accumulate.
 
-Two execution modes:
+Three execution modes:
 
 - :meth:`run_serial` — one worker processes sub-domains sequentially
   ("For the sake of preliminary results, the GPU sequentially processes
   the sub-domains", §5.1); returns the dense approximate result.
+- :meth:`run_parallel` — the same computation fanned out over a process
+  pool: sub-domains are independent until accumulation (the paper's zero
+  communication claim), so they parallelize across cores with the field
+  and kernel spectrum shipped once via shared memory
+  (:mod:`repro.core.parallel`).  Results are bitwise identical to
+  :meth:`run_serial`.
 - :meth:`run_distributed` — P simulated ranks, round-robin sub-domain
   ownership, a single allgather in the accumulation step; the
   communicator's ledger documents the Fig 1(b) communication pattern.
@@ -28,6 +34,7 @@ from repro.cluster.memory import MemoryTracker
 from repro.core.accumulate import Accumulator, accumulate_global
 from repro.core.decomposition import DomainDecomposition, SubDomain
 from repro.core.local_conv import KernelSpectrum, LocalConvolution
+from repro.core.parallel import convolve_subdomains_parallel
 from repro.core.policy import SamplingPolicy
 from repro.errors import ShapeError
 from repro.octree.compress import CompressedField
@@ -78,6 +85,10 @@ class LowCommConvolution3D:
         Reconstruction method for accumulation.
     memory:
         Optional tracker charged by every local convolution.
+    real_kernel:
+        Hermitian fast-path control, forwarded to
+        :class:`~repro.core.local_conv.LocalConvolution` (``None`` =
+        auto-detect for dense spectra).
     """
 
     def __init__(
@@ -90,11 +101,14 @@ class LowCommConvolution3D:
         batch: Optional[int] = None,
         interpolation: str = "linear",
         memory: Optional[MemoryTracker] = None,
+        real_kernel: Optional[bool] = None,
     ):
         self.decomposition = DomainDecomposition(n=n, k=k)
         self.policy = policy or SamplingPolicy()
         self.interpolation = interpolation
         self.memory = memory
+        self._kernel_spectrum = kernel_spectrum
+        self._real_kernel_arg = real_kernel
         self.local = LocalConvolution(
             n=n,
             kernel_spectrum=kernel_spectrum,
@@ -102,6 +116,7 @@ class LowCommConvolution3D:
             backend=backend,
             batch=batch,
             memory=memory,
+            real_kernel=real_kernel,
         )
         self._pattern_cache: Dict[Tuple[int, int, int], object] = {}
 
@@ -120,12 +135,16 @@ class LowCommConvolution3D:
             )
         return self._pattern_cache[corner]
 
-    def _convolve_subdomains(
-        self, field: np.ndarray
-    ) -> List[Tuple[SubDomain, CompressedField]]:
+    def _check_field(self, field: np.ndarray) -> np.ndarray:
         field = np.asarray(field, dtype=np.float64)
         if field.shape != (self.n,) * 3:
             raise ShapeError(f"field shape {field.shape} != grid ({self.n},)*3")
+        return field
+
+    def _convolve_subdomains(
+        self, field: np.ndarray
+    ) -> List[Tuple[SubDomain, CompressedField]]:
+        field = self._check_field(field)
         results: List[Tuple[SubDomain, CompressedField]] = []
         for sub in self.decomposition:
             block = self.decomposition.extract(field, sub)
@@ -137,17 +156,49 @@ class LowCommConvolution3D:
             results.append((sub, compressed))
         return results
 
-    # -- execution modes ----------------------------------------------------
-    def run_serial(self, field: np.ndarray) -> ConvolutionResult:
-        """Process all sub-domains on one worker; return the dense result."""
-        with WallTimer() as timer:
-            per_domain = self._convolve_subdomains(field)
-            if per_domain:
-                approx = accumulate_global(
-                    [f for _s, f in per_domain], method=self.interpolation
-                )
-            else:
-                approx = np.zeros((self.n,) * 3, dtype=np.float64)
+    def _convolve_subdomains_parallel(
+        self, field: np.ndarray, max_workers: Optional[int]
+    ) -> List[Tuple[SubDomain, CompressedField]]:
+        """Parallel counterpart of :meth:`_convolve_subdomains`.
+
+        Workers return only sample values; patterns come from the parent's
+        cache, so the resulting pairs match the serial ones bitwise.
+        """
+        field = self._check_field(field)
+        active = [
+            sub
+            for sub in self.decomposition
+            if np.any(field[sub.slices()])  # implicit sparsity, as in serial
+        ]
+        pairs = convolve_subdomains_parallel(
+            field,
+            self.n,
+            self.k,
+            self._kernel_spectrum,
+            self.policy,
+            [sub.index for sub in active],
+            backend_name=self.local.backend.name,
+            batch=self.local.batch,
+            real_kernel=self._real_kernel_arg,
+            max_workers=max_workers,
+        )
+        results: List[Tuple[SubDomain, CompressedField]] = []
+        for sub, (index, values) in zip(active, pairs):
+            assert sub.index == index
+            compressed = CompressedField(
+                pattern=self._pattern(sub.corner), values=values
+            )
+            results.append((sub, compressed))
+        return results
+
+    def _result(
+        self,
+        approx: np.ndarray,
+        per_domain: List[Tuple[SubDomain, CompressedField]],
+        elapsed_s: float,
+        comm_rounds: int = 0,
+        comm_bytes: int = 0,
+    ) -> ConvolutionResult:
         return ConvolutionResult(
             approx=approx,
             n=self.n,
@@ -155,25 +206,76 @@ class LowCommConvolution3D:
             num_subdomains=len(per_domain),
             total_samples=sum(f.pattern.sample_count for _s, f in per_domain),
             compressed_bytes=sum(f.nbytes for _s, f in per_domain),
-            elapsed_s=timer.elapsed,
+            elapsed_s=elapsed_s,
+            comm_rounds=comm_rounds,
+            comm_bytes=comm_bytes,
             peak_memory_bytes=self.memory.peak_bytes if self.memory else 0,
             per_domain=per_domain,
         )
 
+    def _accumulate(
+        self, per_domain: List[Tuple[SubDomain, CompressedField]]
+    ) -> np.ndarray:
+        if per_domain:
+            return accumulate_global(
+                [f for _s, f in per_domain], method=self.interpolation
+            )
+        return np.zeros((self.n,) * 3, dtype=np.float64)
+
+    # -- execution modes ----------------------------------------------------
+    def run_serial(self, field: np.ndarray) -> ConvolutionResult:
+        """Process all sub-domains on one worker; return the dense result."""
+        with WallTimer() as timer:
+            per_domain = self._convolve_subdomains(field)
+            approx = self._accumulate(per_domain)
+        return self._result(approx, per_domain, timer.elapsed)
+
+    def run_parallel(
+        self, field: np.ndarray, max_workers: Optional[int] = None
+    ) -> ConvolutionResult:
+        """Fan the independent sub-domain convolutions over a process pool.
+
+        Zero inter-worker communication until accumulation — the paper's
+        core structural claim — so this is a pure fan-out: the field and
+        kernel spectrum are shared (not pickled per task) and each worker
+        processes its sub-domains with a process-local plan cache.  The
+        returned result is bitwise identical to :meth:`run_serial`
+        (``per_domain`` is ordered by sub-domain index in both).
+
+        Parameters
+        ----------
+        field:
+            Dense ``n^3`` input field.
+        max_workers:
+            Process count; defaults to all available cores.
+        """
+        with WallTimer() as timer:
+            per_domain = self._convolve_subdomains_parallel(field, max_workers)
+            approx = self._accumulate(per_domain)
+        return self._result(approx, per_domain, timer.elapsed)
+
     def run_distributed(
-        self, field: np.ndarray, comm: SimulatedComm
+        self,
+        field: np.ndarray,
+        comm: SimulatedComm,
+        max_workers: Optional[int] = None,
     ) -> ConvolutionResult:
         """Run over ``comm.size`` simulated ranks.
 
         Sub-domains are assigned round-robin; each rank convolves its
         chunks locally (no communication), then ONE sparse allgather
         accumulates.  The returned result carries the communicator's
-        traffic counters for the run.
+        traffic counters for the run.  When ``max_workers`` is set the
+        local numerics execute on a real process pool (the simulated
+        communication accounting is unchanged).
         """
         rounds_before = comm.ledger.total_rounds
         bytes_before = comm.ledger.total_bytes
         with WallTimer() as timer:
-            per_domain = self._convolve_subdomains(field)
+            if max_workers is not None:
+                per_domain = self._convolve_subdomains_parallel(field, max_workers)
+            else:
+                per_domain = self._convolve_subdomains(field)
             by_rank: List[List[Tuple[SubDomain, CompressedField]]] = [
                 [] for _ in range(comm.size)
             ]
@@ -182,16 +284,10 @@ class LowCommConvolution3D:
             accumulator = Accumulator(self.decomposition, method=self.interpolation)
             blocks = accumulator.exchange_and_accumulate(by_rank, comm)
             approx = accumulator.assemble(blocks)
-        return ConvolutionResult(
-            approx=approx,
-            n=self.n,
-            k=self.k,
-            num_subdomains=len(per_domain),
-            total_samples=sum(f.pattern.sample_count for _s, f in per_domain),
-            compressed_bytes=sum(f.nbytes for _s, f in per_domain),
-            elapsed_s=timer.elapsed,
+        return self._result(
+            approx,
+            per_domain,
+            timer.elapsed,
             comm_rounds=comm.ledger.total_rounds - rounds_before,
             comm_bytes=comm.ledger.total_bytes - bytes_before,
-            peak_memory_bytes=self.memory.peak_bytes if self.memory else 0,
-            per_domain=per_domain,
         )

@@ -50,6 +50,7 @@ class Worker:
         device: Device,
         batch: Optional[int] = None,
         clock: Optional[SimClock] = None,
+        real_kernel: Optional[bool] = None,
     ):
         self.worker_id = worker_id
         self.device = device
@@ -67,6 +68,7 @@ class Worker:
             backend="numpy",
             batch=self.batch,
             memory=self.memory,
+            real_kernel=real_kernel,
         )
         self.stats = WorkerStats()
 

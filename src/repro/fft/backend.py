@@ -13,28 +13,36 @@ Backends:
   for tests that validate the substrate itself).
 - ``"numpy"``  — :func:`numpy.fft.fft` / :func:`numpy.fft.ifft` (default
   for large benchmarks; the *algorithm* above it is identical).
+
+Backends may optionally carry a real-input forward transform ``rfft``
+(returning the ``n//2 + 1`` non-redundant coefficients); the Hermitian
+fast path of the pruned pipeline uses it when available and
+:func:`backend_rfft` falls back to the complex transform plus a slice
+otherwise, so the half-spectrum algorithm runs on any backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fft.dft import fft1d, ifft1d
+from repro.fft.real import rfft1d
 
 TransformFn = Callable[[np.ndarray, int], np.ndarray]
 
 
 @dataclass(frozen=True)
 class Backend:
-    """A named pair of 1D forward/inverse transforms."""
+    """A named pair of 1D forward/inverse transforms (plus optional rfft)."""
 
     name: str
     fft: TransformFn
     ifft: TransformFn
+    rfft: Optional[TransformFn] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Backend({self.name!r})"
@@ -43,13 +51,34 @@ class Backend:
 _REGISTRY: Dict[str, Backend] = {}
 
 
-def register_backend(name: str, fft: TransformFn, ifft: TransformFn) -> Backend:
+def register_backend(
+    name: str,
+    fft: TransformFn,
+    ifft: TransformFn,
+    rfft: Optional[TransformFn] = None,
+) -> Backend:
     """Register (or replace) a backend under ``name`` and return it."""
     if not name:
         raise ConfigurationError("backend name must be non-empty")
-    backend = Backend(name=name, fft=fft, ifft=ifft)
+    backend = Backend(name=name, fft=fft, ifft=ifft, rfft=rfft)
     _REGISTRY[name] = backend
     return backend
+
+
+def backend_rfft(backend: Backend, x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Real-input forward transform via ``backend``.
+
+    Uses the backend's dedicated ``rfft`` when registered; otherwise the
+    complex transform is computed and sliced to the ``n//2 + 1``
+    non-redundant coefficients (correct, just without the 2x saving).
+    """
+    if backend.rfft is not None:
+        return backend.rfft(x, axis)
+    n = x.shape[axis]
+    full = backend.fft(x, axis)
+    sl = [slice(None)] * full.ndim
+    sl[axis] = slice(0, n // 2 + 1)
+    return np.ascontiguousarray(full[tuple(sl)])
 
 
 def get_backend(name: str = "numpy") -> Backend:
@@ -77,5 +106,9 @@ def _np_ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return np.fft.ifft(x, axis=axis)
 
 
-register_backend("native", fft1d, ifft1d)
-register_backend("numpy", _np_fft, _np_ifft)
+def _np_rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    return np.fft.rfft(x, axis=axis)
+
+
+register_backend("native", fft1d, ifft1d, rfft=rfft1d)
+register_backend("numpy", _np_fft, _np_ifft, rfft=_np_rfft)

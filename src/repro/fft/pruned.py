@@ -23,14 +23,63 @@ All stages are backend-agnostic (see :mod:`repro.fft.backend`).
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Iterator, Sequence, Tuple
+import hashlib
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.fft.backend import Backend, get_backend
+from repro.fft.backend import Backend, backend_rfft, get_backend
+from repro.fft.real import half_length, hermitian_weights
 from repro.util.validation import check_positive_int
+
+
+class PadScratch:
+    """Reusable zero-padded staging buffers for pruned-input transforms.
+
+    Allocating and zero-filling a fresh padded buffer for every pencil
+    batch is pure overhead once the placement ``(offset, extent)`` repeats
+    — which it does for every batch of the same sub-domain.  A scratch
+    keeps one buffer per ``(input shape, axis, dtype kind)`` slot; the pad
+    region stays zero across calls, and only a change of placement forces
+    the previously written band to be cleared.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[Tuple, list] = {}
+
+    def padded(self, x: np.ndarray, offset: int, n: int, axis: int) -> np.ndarray:
+        """Return a length-``n`` (along ``axis``) buffer with ``x`` placed
+        at ``offset`` and zeros elsewhere.  The buffer is reused across
+        calls and must be consumed before the next ``padded`` call."""
+        extent = x.shape[axis]
+        dtype = np.complex128 if np.iscomplexobj(x) else np.float64
+        key = (x.shape, axis, dtype)
+        shape = list(x.shape)
+        shape[axis] = n
+        slot = self._slots.get(key)
+        if slot is None or slot[0].shape != tuple(shape):
+            buf = np.zeros(shape, dtype=dtype)
+            slot = [buf, offset, extent]
+            self._slots[key] = slot
+        else:
+            buf, last_offset, last_extent = slot
+            if (last_offset, last_extent) != (offset, extent):
+                stale = [slice(None)] * buf.ndim
+                stale[axis] = slice(last_offset, last_offset + last_extent)
+                buf[tuple(stale)] = 0
+                slot[1], slot[2] = offset, extent
+        sl = [slice(None)] * buf.ndim
+        sl[axis] = slice(offset, offset + extent)
+        buf[tuple(sl)] = x
+        return buf
+
+
+def _check_pad_bounds(extent: int, offset: int, n: int) -> None:
+    if offset < 0 or offset + extent > n:
+        raise ShapeError(
+            f"data of extent {extent} at offset {offset} exceeds length {n}"
+        )
 
 
 def pruned_input_fft(
@@ -39,26 +88,59 @@ def pruned_input_fft(
     n: int,
     axis: int,
     backend: str | Backend = "numpy",
+    scratch: Optional[PadScratch] = None,
 ) -> np.ndarray:
     """FFT along ``axis`` of ``x`` implicitly zero-padded to length ``n``.
 
     The data occupies indices ``[offset, offset + x.shape[axis])`` of the
     padded axis.  Only a single padded buffer for this one axis is created
-    (1D-pencil padding), never the full padded cube.
+    (1D-pencil padding), never the full padded cube; pass a
+    :class:`PadScratch` to reuse that buffer across calls.
     """
     x = np.asarray(x)
-    k = x.shape[axis]
     n = check_positive_int(n, "n")
-    if offset < 0 or offset + k > n:
-        raise ShapeError(f"data of extent {k} at offset {offset} exceeds length {n}")
+    _check_pad_bounds(x.shape[axis], offset, n)
     be = get_backend(backend)
+    if scratch is not None:
+        return be.fft(scratch.padded(x, offset, n, axis), axis)
     shape = list(x.shape)
     shape[axis] = n
     buf = np.zeros(shape, dtype=np.complex128)
     sl = [slice(None)] * x.ndim
-    sl[axis] = slice(offset, offset + k)
+    sl[axis] = slice(offset, offset + x.shape[axis])
     buf[tuple(sl)] = x
     return be.fft(buf, axis)
+
+
+def pruned_input_rfft(
+    x: np.ndarray,
+    offset: int,
+    n: int,
+    axis: int,
+    backend: str | Backend = "numpy",
+    scratch: Optional[PadScratch] = None,
+) -> np.ndarray:
+    """Real-input variant of :func:`pruned_input_fft`.
+
+    Returns only the ``n//2 + 1`` non-redundant coefficients along
+    ``axis`` — the entry stage of the Hermitian fast path, which halves
+    the slab working set for real fields.
+    """
+    x = np.asarray(x)
+    if np.iscomplexobj(x):
+        raise ShapeError("pruned_input_rfft expects real input")
+    n = check_positive_int(n, "n")
+    _check_pad_bounds(x.shape[axis], offset, n)
+    be = get_backend(backend)
+    if scratch is not None:
+        return backend_rfft(be, scratch.padded(x, offset, n, axis), axis)
+    shape = list(x.shape)
+    shape[axis] = n
+    buf = np.zeros(shape, dtype=np.float64)
+    sl = [slice(None)] * x.ndim
+    sl[axis] = slice(offset, offset + x.shape[axis])
+    buf[tuple(sl)] = x
+    return backend_rfft(be, buf, axis)
 
 
 def slab_from_subcube(
@@ -66,6 +148,7 @@ def slab_from_subcube(
     corner: Sequence[int],
     n: int,
     backend: str | Backend = "numpy",
+    scratch: Optional[PadScratch] = None,
 ) -> np.ndarray:
     """Transform a sub-cube to an ``n x n x k`` slab (x and y stages).
 
@@ -77,8 +160,31 @@ def slab_from_subcube(
     if sub.ndim != 3:
         raise ShapeError(f"sub-domain must be rank 3, got ndim={sub.ndim}")
     cx, cy, _cz = (int(c) for c in corner)
-    stage_x = pruned_input_fft(sub, cx, n, axis=0, backend=backend)
-    return pruned_input_fft(stage_x, cy, n, axis=1, backend=backend)
+    stage_x = pruned_input_fft(sub, cx, n, axis=0, backend=backend, scratch=scratch)
+    return pruned_input_fft(stage_x, cy, n, axis=1, backend=backend, scratch=scratch)
+
+
+def rslab_from_subcube(
+    sub: np.ndarray,
+    corner: Sequence[int],
+    n: int,
+    backend: str | Backend = "numpy",
+    scratch: Optional[PadScratch] = None,
+) -> np.ndarray:
+    """Half-spectrum slab of a *real* sub-domain: ``(n//2+1) x n x k``.
+
+    The x stage is an rfft (the input is real), so only the non-redundant
+    ``fx`` rows are kept; the y stage is the usual complex pruned-input
+    FFT.  The full slab is recoverable from 3D Hermitian symmetry
+    ``S[-fx, -fy, z] = conj(S[fx, fy, z])``, so downstream stages operate
+    on half the pencils — the Hermitian fast path's 2x saving.
+    """
+    sub = np.asarray(sub)
+    if sub.ndim != 3:
+        raise ShapeError(f"sub-domain must be rank 3, got ndim={sub.ndim}")
+    cx, cy, _cz = (int(c) for c in corner)
+    stage_x = pruned_input_rfft(sub, cx, n, axis=0, backend=backend, scratch=scratch)
+    return pruned_input_fft(stage_x, cy, n, axis=1, backend=backend, scratch=scratch)
 
 
 def pencil_batches(total: int, batch: int) -> Iterator[slice]:
@@ -98,6 +204,7 @@ def zstage_batch(
     corner_z: int,
     n: int,
     backend: str | Backend = "numpy",
+    scratch: Optional[PadScratch] = None,
 ) -> np.ndarray:
     """Forward z-transform of a batch of pencils from the slab.
 
@@ -108,7 +215,9 @@ def zstage_batch(
     slab_rows = np.asarray(slab_rows)
     if slab_rows.ndim != 2:
         raise ShapeError("zstage_batch expects (B, k) pencil batches")
-    return pruned_input_fft(slab_rows, corner_z, n, axis=1, backend=backend)
+    return pruned_input_fft(
+        slab_rows, corner_z, n, axis=1, backend=backend, scratch=scratch
+    )
 
 
 def pruned_fft3(
@@ -138,18 +247,56 @@ def pruned_fft3(
     return out
 
 
-@lru_cache(maxsize=128)
-def _partial_idft_matrix(n: int, coords: Tuple[int, ...]) -> np.ndarray:
+# Partial-iDFT matrices are cached under a digest of the coordinate array
+# rather than an lru_cache keyed by a tuple of (possibly thousands of)
+# ints: hashing the raw bytes once is far cheaper than tuple-hashing per
+# call, and congruent patterns across sub-domains share entries.
+_MATRIX_CACHE_SIZE = 256
+_MATRIX_CACHE: Dict[Tuple, np.ndarray] = {}
+
+
+def _coords_array(coords: Sequence[int], n: int) -> np.ndarray:
+    coords = np.ascontiguousarray(coords, dtype=np.intp)
+    if coords.ndim != 1:
+        raise ShapeError(f"output coords must be 1D, got shape {coords.shape}")
+    if coords.size and (int(coords.min()) < 0 or int(coords.max()) >= n):
+        raise ShapeError(f"output coords must lie in [0, {n})")
+    return coords
+
+
+def _cached_matrix(kind: str, n: int, coords: np.ndarray) -> np.ndarray:
+    key = (kind, n, coords.size, hashlib.sha1(coords.tobytes()).digest())
+    mat = _MATRIX_CACHE.get(key)
+    if mat is None:
+        c = coords.astype(np.float64)[:, None]
+        if kind == "full":
+            f = np.arange(n, dtype=np.float64)[None, :]
+            mat = np.exp(2j * np.pi * c * f / n) / n
+        else:  # "hermitian": weighted half-spectrum rows
+            f = np.arange(half_length(n), dtype=np.float64)[None, :]
+            mat = np.exp(2j * np.pi * c * f / n) / n
+            mat *= hermitian_weights(n)[None, :]
+        mat.setflags(write=False)
+        if len(_MATRIX_CACHE) >= _MATRIX_CACHE_SIZE:
+            _MATRIX_CACHE.pop(next(iter(_MATRIX_CACHE)))
+        _MATRIX_CACHE[key] = mat
+    return mat
+
+
+def partial_idft_matrix(n: int, coords: Sequence[int]) -> np.ndarray:
     """Rows of the length-``n`` inverse DFT matrix for output ``coords``.
 
     ``M[j, f] = exp(+2i*pi*coords[j]*f/n) / n``; applying ``spec @ M.T``
     evaluates the inverse transform only at the sampled coordinates.
     """
-    c = np.asarray(coords, dtype=np.float64)[:, None]
-    f = np.arange(n, dtype=np.float64)[None, :]
-    mat = np.exp(2j * np.pi * c * f / n) / n
-    mat.setflags(write=False)
-    return mat
+    return _cached_matrix("full", n, _coords_array(coords, n))
+
+
+def hermitian_partial_idft_matrix(n: int, coords: Sequence[int]) -> np.ndarray:
+    """Half-spectrum inverse matrix: ``(m, n//2+1)``, conjugate-mirror
+    coefficients folded in via :func:`repro.fft.real.hermitian_weights`.
+    ``Re(half_spec @ M.T)`` equals the real full-length partial inverse."""
+    return _cached_matrix("hermitian", n, _coords_array(coords, n))
 
 
 def partial_idft(
@@ -163,12 +310,31 @@ def partial_idft(
     """
     spectrum = np.asarray(spectrum, dtype=np.complex128)
     n = spectrum.shape[axis]
-    coords = tuple(int(c) for c in coords)
-    if any(c < 0 or c >= n for c in coords):
-        raise ShapeError(f"output coords must lie in [0, {n}), got {coords}")
-    mat = _partial_idft_matrix(n, coords)
+    mat = partial_idft_matrix(n, coords)
     moved = np.moveaxis(spectrum, axis, -1)
     out = moved @ mat.T
+    return np.moveaxis(out, -1, axis)
+
+
+def hermitian_partial_idft(
+    half_spectrum: np.ndarray, coords: Sequence[int], n: int, axis: int = -1
+) -> np.ndarray:
+    """Real partial inverse DFT from the ``n//2 + 1`` stored coefficients.
+
+    Valid when the full-length spectrum along ``axis`` is Hermitian (the
+    transform of real data); the conjugate mirror half is folded in
+    analytically, so the result is real and costs half the multiplies of
+    :func:`partial_idft`.
+    """
+    half_spectrum = np.asarray(half_spectrum, dtype=np.complex128)
+    if half_spectrum.shape[axis] != half_length(n):
+        raise ShapeError(
+            f"half-spectrum length {half_spectrum.shape[axis]} != "
+            f"n//2+1 = {half_length(n)} for n={n}"
+        )
+    mat = hermitian_partial_idft_matrix(n, coords)
+    moved = np.moveaxis(half_spectrum, axis, -1)
+    out = (moved @ mat.T).real
     return np.moveaxis(out, -1, axis)
 
 

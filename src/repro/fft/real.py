@@ -15,6 +15,26 @@ from repro.errors import ShapeError
 from repro.fft.dft import fft1d, ifft1d
 
 
+def half_length(n: int) -> int:
+    """Number of non-redundant coefficients of a length-``n`` real DFT."""
+    return n // 2 + 1
+
+
+def hermitian_weights(n: int) -> np.ndarray:
+    """Per-coefficient multiplicities for half-spectrum reductions.
+
+    Summing ``w[g] * Re(X[g] * e^{2i*pi*x*g/n})`` over the ``n//2 + 1``
+    stored coefficients of a Hermitian spectrum reproduces the full
+    length-``n`` inverse sum: DC (and Nyquist, for even ``n``) count once,
+    every interior coefficient stands for itself plus its conjugate mirror.
+    """
+    w = np.full(half_length(n), 2.0)
+    w[0] = 1.0
+    if n % 2 == 0:
+        w[-1] = 1.0
+    return w
+
+
 def rfft1d(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Forward DFT of real input; returns ``n//2 + 1`` coefficients."""
     x = np.asarray(x)

@@ -183,18 +183,23 @@ class SamplingPattern:
         m = self.sample_count
         return float(self.n**3) / m if m else float("inf")
 
+    @cached_property
+    def _axis_coordinate_sets(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return tuple(
+            np.unique(np.concatenate([c.axis_coords(axis) for c in self.cells]))
+            for axis in range(3)
+        )
+
     def axis_coordinate_set(self, axis: int) -> np.ndarray:
         """Sorted unique retained coordinates along ``axis``.
 
         The staged inverse transform prunes each 1D stage to this set (the
         union over cells), so the intermediate shrinks axis by axis.
+        Cached: every convolve against the same pattern reuses it.
         """
         if not 0 <= axis < 3:
             raise ConfigurationError(f"axis must be 0, 1 or 2, got {axis}")
-        coords = np.unique(
-            np.concatenate([c.axis_coords(axis) for c in self.cells])
-        )
-        return coords
+        return self._axis_coordinate_sets[axis]
 
     def metadata(self) -> np.ndarray:
         """Packed 5-int-per-cell metadata (paper layout)."""

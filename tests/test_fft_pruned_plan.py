@@ -1,0 +1,248 @@
+"""Tests for PrunedPlan/PlanCache, PadScratch, and the Hermitian
+(half-spectrum) pruned transform building blocks."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.fft.backend import backend_rfft, get_backend
+from repro.fft.pruned import (
+    PadScratch,
+    hermitian_partial_idft,
+    hermitian_partial_idft_matrix,
+    partial_idft,
+    partial_idft_matrix,
+    pruned_input_fft,
+    pruned_input_rfft,
+    rslab_from_subcube,
+    slab_from_subcube,
+)
+from repro.fft.pruned_plan import PlanCache, PrunedPlan, get_plan
+from repro.fft.real import half_length, hermitian_weights
+
+
+class TestHermitianWeights:
+    def test_even_n(self):
+        w = hermitian_weights(8)
+        assert w.shape == (5,)
+        assert w[0] == 1.0 and w[-1] == 1.0
+        assert np.all(w[1:-1] == 2.0)
+
+    def test_odd_n(self):
+        w = hermitian_weights(7)
+        assert w.shape == (4,)
+        assert w[0] == 1.0
+        assert np.all(w[1:] == 2.0)
+
+    def test_half_length(self):
+        assert half_length(8) == 5
+        assert half_length(7) == 4
+
+
+class TestPadScratch:
+    def test_matches_fresh_buffer(self, rng):
+        scratch = PadScratch()
+        x = rng.standard_normal((4, 6))
+        buf = scratch.padded(x, 3, 16, axis=1)
+        expect = np.zeros((4, 16))
+        expect[:, 3:9] = x
+        np.testing.assert_array_equal(buf, expect)
+
+    def test_stale_band_cleared_on_new_placement(self, rng):
+        """Reusing the buffer with a different (offset, extent) must not
+        leak the previously written band."""
+        scratch = PadScratch()
+        x = rng.standard_normal((4, 6))
+        scratch.padded(x, 0, 16, axis=1)
+        y = rng.standard_normal((4, 6))
+        buf = scratch.padded(y, 9, 16, axis=1)
+        expect = np.zeros((4, 16))
+        expect[:, 9:15] = y
+        np.testing.assert_array_equal(buf, expect)
+
+    def test_same_placement_reuses_without_clear(self, rng):
+        scratch = PadScratch()
+        x = rng.standard_normal((3, 5))
+        buf1 = scratch.padded(x, 2, 12, axis=1)
+        y = rng.standard_normal((3, 5))
+        buf2 = scratch.padded(y, 2, 12, axis=1)
+        assert buf1 is buf2
+        expect = np.zeros((3, 12))
+        expect[:, 2:7] = y
+        np.testing.assert_array_equal(buf2, expect)
+
+    def test_separate_slots_per_dtype(self, rng):
+        scratch = PadScratch()
+        xr = rng.standard_normal((2, 3))
+        xc = xr + 1j * xr
+        bufr = scratch.padded(xr, 0, 8, axis=1)
+        bufc = scratch.padded(xc, 0, 8, axis=1)
+        assert bufr.dtype == np.float64
+        assert bufc.dtype == np.complex128
+
+
+class TestPrunedInputRfft:
+    def test_matches_rfft_of_padded(self, rng):
+        x = rng.standard_normal((5, 4))
+        n, offset = 16, 6
+        padded = np.zeros((5, n))
+        padded[:, offset : offset + 4] = x
+        expect = np.fft.rfft(padded, axis=1)
+        got = pruned_input_rfft(x, offset, n, axis=1)
+        np.testing.assert_allclose(got, expect, atol=1e-12)
+
+    def test_scratch_path_matches(self, rng):
+        x = rng.standard_normal((5, 4))
+        base = pruned_input_rfft(x, 2, 16, axis=1)
+        scratch = PadScratch()
+        got = pruned_input_rfft(x, 2, 16, axis=1, scratch=scratch)
+        np.testing.assert_array_equal(got, base)
+
+    def test_rejects_complex_input(self):
+        with pytest.raises(ShapeError):
+            pruned_input_rfft(np.zeros(4, dtype=np.complex128), 0, 8, axis=0)
+
+    def test_fft_scratch_path_matches(self, rng):
+        x = rng.standard_normal((5, 4))
+        base = pruned_input_fft(x, 2, 16, axis=1)
+        scratch = PadScratch()
+        got = pruned_input_fft(x, 2, 16, axis=1, scratch=scratch)
+        np.testing.assert_array_equal(got, base)
+
+    def test_backend_rfft_fallback(self, rng):
+        """A backend without a native rfft still computes the half spectrum."""
+        be = dataclasses.replace(get_backend("numpy"), rfft=None)
+        x = rng.standard_normal((3, 8))
+        np.testing.assert_allclose(
+            backend_rfft(be, x, axis=1), np.fft.rfft(x, axis=1), atol=1e-12
+        )
+
+
+class TestHalfSlab:
+    def test_rslab_is_prefix_of_full_slab(self, rng):
+        n, k = 16, 4
+        sub = rng.standard_normal((k, k, k))
+        full = slab_from_subcube(sub, (4, 8, 0), n)
+        half = rslab_from_subcube(sub, (4, 8, 0), n)
+        h = half_length(n)
+        assert half.shape == (h, n, k)
+        np.testing.assert_allclose(half, full[:h], atol=1e-12)
+
+    def test_full_slab_recoverable_by_hermitian_symmetry(self, rng):
+        n, k = 16, 4
+        sub = rng.standard_normal((k, k, k))
+        full = slab_from_subcube(sub, (0, 4, 0), n)
+        half = rslab_from_subcube(sub, (0, 4, 0), n)
+        fx, fy = 3, 5
+        np.testing.assert_allclose(
+            full[-fx, -fy], np.conj(half[fx, fy]), atol=1e-12
+        )
+
+
+class TestHermitianPartialIdft:
+    def test_matches_full_partial_idft(self, rng):
+        n = 16
+        signal = rng.standard_normal((6, n))
+        spec = np.fft.fft(signal, axis=1)
+        half = spec[:, : half_length(n)]
+        coords = np.array([0, 3, 7, 12, 15])
+        full_out = partial_idft(spec, coords, axis=1)
+        herm_out = hermitian_partial_idft(half, coords, n, axis=1)
+        assert herm_out.dtype == np.float64
+        np.testing.assert_allclose(herm_out, np.real(full_out), atol=1e-12)
+
+    def test_odd_n(self, rng):
+        n = 15
+        signal = rng.standard_normal((4, n))
+        spec = np.fft.fft(signal, axis=1)
+        half = spec[:, : half_length(n)]
+        coords = np.arange(n)
+        out = hermitian_partial_idft(half, coords, n, axis=1)
+        np.testing.assert_allclose(out, signal, atol=1e-12)
+
+    def test_wrong_half_length_rejected(self):
+        with pytest.raises(ShapeError):
+            hermitian_partial_idft(np.zeros((2, 4), dtype=complex), [0], 16)
+
+    def test_matrix_is_weighted_half(self):
+        n, coords = 8, [0, 2, 5]
+        full = partial_idft_matrix(n, coords)
+        herm = hermitian_partial_idft_matrix(n, coords)
+        h = half_length(n)
+        np.testing.assert_allclose(
+            herm, full[:, :h] * hermitian_weights(n)[None, :], atol=1e-15
+        )
+
+    def test_coords_out_of_range_rejected(self):
+        with pytest.raises(ShapeError):
+            partial_idft_matrix(8, [0, 8])
+
+
+class TestPrunedPlan:
+    def test_plan_stages_match_direct_functions(self, rng):
+        n, k = 16, 4
+        coords = np.array([0, 2, 5, 9, 14])
+        plan = PrunedPlan(n, coords, coords, coords)
+        sub = rng.standard_normal((k, k, k))
+        slab = plan.forward_slab(sub, (4, 0, 8))
+        np.testing.assert_array_equal(slab, slab_from_subcube(sub, (4, 0, 8), n))
+        flat = slab.reshape(n * n, k)
+        spec = plan.zstage(flat[:32], 8)
+        np.testing.assert_allclose(
+            plan.idft_z(spec), partial_idft(spec, coords, axis=1), atol=1e-12
+        )
+
+    def test_hermitian_plan_shapes(self):
+        n = 16
+        coords = np.arange(n)
+        plan = PrunedPlan(n, coords, coords, coords, hermitian=True)
+        assert plan.slab_rows == half_length(n)
+        assert plan.num_pencils == half_length(n) * n
+        assert plan.mat_x.shape == (n, half_length(n))
+
+    def test_pencil_index_hoisting(self):
+        n = 8
+        plan = PrunedPlan(n, np.arange(n), np.arange(n), np.arange(n))
+        ix, iy = np.divmod(np.arange(n * n), n)
+        np.testing.assert_array_equal(plan.pencil_ix, ix)
+        np.testing.assert_array_equal(plan.pencil_iy, iy)
+
+
+class TestPlanCache:
+    def test_congruent_patterns_share_plan(self):
+        cache = PlanCache()
+        c = np.array([0, 3, 7])
+        p1 = cache.get(16, c, c, c)
+        p2 = cache.get(16, c.copy(), c.copy(), c.copy())
+        assert p1 is p2
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_distinct_configurations_get_distinct_plans(self):
+        cache = PlanCache()
+        c = np.array([0, 3, 7])
+        p1 = cache.get(16, c, c, c)
+        p2 = cache.get(16, c, c, c, hermitian=True)
+        p3 = cache.get(16, c, c, np.array([0, 1, 2]))
+        assert p1 is not p2 and p1 is not p3
+        assert cache.misses == 3
+
+    def test_eviction_bounds_size(self):
+        cache = PlanCache(max_plans=2)
+        for m in range(4):
+            coords = np.arange(m + 1)
+            cache.get(16, coords, coords, coords)
+        assert len(cache) == 2
+
+    def test_plans_share_scratch(self):
+        cache = PlanCache()
+        c = np.array([0, 1])
+        p1 = cache.get(16, c, c, c)
+        p2 = cache.get(16, c, c, c, hermitian=True)
+        assert p1.scratch is p2.scratch is cache.scratch
+
+    def test_module_level_get_plan(self):
+        c = np.array([0, 5])
+        assert get_plan(16, c, c, c) is get_plan(16, c, c, c)
