@@ -28,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.parallel import resolve_workers
 from repro.core.pipeline import LowCommConvolution3D
 from repro.core.policy import SamplingPolicy
 from repro.core.reference import reference_convolve
@@ -78,13 +79,17 @@ def main() -> dict:
         }
         print(f"{name:18s} median {median:7.3f} s  max|err| {err:.3e}")
 
+    # Shared bench schema (same top-level keys as BENCH_serve.json — see
+    # repro.serve.loadgen.bench_report_json) so files are machine-comparable.
     report = {
+        "bench": "pipeline",
         "n": N,
         "k": K,
         "sigma": SIGMA,
         "repeats": REPEATS,
-        "policy": "flat_rate(2)",
+        "policy": "flat:2",
         "cpu_count": os.cpu_count(),
+        "workers_used": resolve_workers((N // K) ** 3),
         "python": platform.python_version(),
         "results": results,
         "speedup": {

@@ -17,17 +17,22 @@ Sub-packages
 - :mod:`repro.baselines` — traditional distributed FFT convolution and
   related baselines.
 - :mod:`repro.fftx` — a miniature FFTX-style plan DSL (paper §6).
+- :mod:`repro.serve` — the serving layer: a batching convolution service
+  with admission control, request lifecycle tracking, and metrics.
 - :mod:`repro.analysis` — experiment drivers and report/table rendering.
 """
 
 from repro._version import __version__
 from repro.errors import (
+    AdmissionError,
     CommunicationError,
     ConfigurationError,
     ConvergenceError,
     DeviceMemoryError,
     PlanError,
     ReproError,
+    RequestTimeoutError,
+    ServiceError,
     ShapeError,
 )
 
@@ -40,4 +45,7 @@ __all__ = [
     "DeviceMemoryError",
     "CommunicationError",
     "ConvergenceError",
+    "ServiceError",
+    "AdmissionError",
+    "RequestTimeoutError",
 ]

@@ -15,6 +15,12 @@ Usage::
     python -m repro all             # everything
     python -m repro pipeline --mode parallel --workers 4
                                     # run the end-to-end pipeline itself
+    python -m repro serve-bench --requests 16
+                                    # batched serving vs naive baseline
+
+Exit codes: 0 on success, 2 on bad arguments or configuration errors
+(argparse errors also exit 2), with a one-line message on stderr —
+never a traceback for a user mistake.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from typing import Callable, Dict
 from repro.analysis import experiments as ex
 from repro.analysis.tables import format_table
 from repro.cluster.trace import gpu_acceleration_story
+from repro.errors import ReproError
 
 
 def _table1() -> None:
@@ -180,6 +187,58 @@ def _pipeline(args: argparse.Namespace) -> None:
     )
 
 
+def _serve_bench(args: argparse.Namespace) -> None:
+    """Benchmark batched serving against the naive per-request baseline."""
+    import json
+    from pathlib import Path
+
+    from repro.serve.loadgen import (
+        LoadSpec,
+        bench_report_json,
+        run_serve_benchmark,
+    )
+    from repro.serve.server import ServerConfig
+
+    spec = LoadSpec(
+        n=args.n,
+        k=args.k,
+        num_requests=args.requests,
+        num_kernels=args.kernels,
+        sigma=args.sigma,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    config = ServerConfig(
+        n=args.n,
+        k=args.k,
+        max_batch_size=args.max_batch_size,
+        max_wait_s=args.max_wait,
+        mode="parallel" if args.mode == "parallel" else "serial",
+        max_workers=args.workers,
+    )
+    report = run_serve_benchmark(spec, config)
+    payload = bench_report_json(spec, report, config)
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["requests (kernels)", f"{spec.num_requests} ({spec.num_kernels})"],
+                ["n / k / policy", f"{spec.n} / {spec.k} / {spec.policy}"],
+                ["naive (s)", f"{report.naive_s:.3f}"],
+                ["batched (s)", f"{report.batched_s:.3f}"],
+                ["speedup", f"{report.speedup:.2f}x"],
+                ["batches executed", report.batches],
+                ["mean batch size", f"{report.batch_size_mean:.1f}"],
+                ["bitwise identical", report.bitwise_identical],
+                ["report", str(out)],
+            ],
+            title="serve-bench: batched serving vs naive executor",
+        )
+    )
+
+
 COMMANDS: Dict[str, Callable[[], None]] = {
     "table1": _table1,
     "table2": _table2,
@@ -204,9 +263,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "pipeline"],
+        choices=sorted(COMMANDS) + ["all", "pipeline", "serve-bench"],
         help="which experiment to run ('pipeline' runs the end-to-end "
-        "convolution itself; see the pipeline-only flags below)",
+        "convolution itself; 'serve-bench' benchmarks the batching "
+        "service; see the flag groups below)",
     )
     group = parser.add_argument_group("pipeline options")
     group.add_argument("--n", type=int, default=64, help="global grid edge")
@@ -239,15 +299,50 @@ def main(argv: list[str] | None = None) -> int:
         action="store_false",
         help="force the full complex path",
     )
+    serve = parser.add_argument_group("serve-bench options")
+    serve.add_argument(
+        "--requests", type=int, default=16, help="number of requests in the stream"
+    )
+    serve.add_argument(
+        "--kernels",
+        type=int,
+        default=1,
+        help="distinct kernels across the stream (compatibility groups)",
+    )
+    serve.add_argument(
+        "--policy",
+        default="banded",
+        help="sampling policy spec: 'banded' or 'flat:R'",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=8, help="dynamic batching size cap"
+    )
+    serve.add_argument(
+        "--max-wait",
+        type=float,
+        default=0.05,
+        help="max seconds a partial batch waits before flushing",
+    )
+    serve.add_argument(
+        "--output",
+        default="BENCH_serve.json",
+        help="where to write the benchmark report JSON",
+    )
     args = parser.parse_args(argv)
-    if args.experiment == "pipeline":
-        _pipeline(args)
-    elif args.experiment == "all":
-        for name in sorted(COMMANDS):
-            print(f"\n================ {name} ================")
-            COMMANDS[name]()
-    else:
-        COMMANDS[args.experiment]()
+    try:
+        if args.experiment == "pipeline":
+            _pipeline(args)
+        elif args.experiment == "serve-bench":
+            _serve_bench(args)
+        elif args.experiment == "all":
+            for name in sorted(COMMANDS):
+                print(f"\n================ {name} ================")
+                COMMANDS[name]()
+        else:
+            COMMANDS[args.experiment]()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

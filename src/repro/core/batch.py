@@ -57,19 +57,37 @@ class BatchConvolver:
         policy: Optional[SamplingPolicy] = None,
         batch: Optional[int] = None,
         memory: Optional[MemoryTracker] = None,
+        backend: str = "numpy",
+        real_kernel: Optional[bool] = None,
     ):
         self.pipeline = LowCommConvolution3D(
             n,
             k,
             kernel_spectrum,
             policy,
+            backend=backend,
             batch=batch,
             memory=memory,
+            real_kernel=real_kernel,
         )
         self.memory = memory
 
-    def run(self, fields: Sequence[np.ndarray]) -> BatchResult:
-        """Convolve every field; the pattern cache persists across them."""
+    def run(
+        self,
+        fields: Sequence[np.ndarray],
+        mode: str = "serial",
+        max_workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Convolve every field; the pattern cache persists across them.
+
+        ``mode="parallel"`` runs each instance's sub-domain fan-out on a
+        process pool (:meth:`LowCommConvolution3D.run_parallel`, bitwise
+        identical to serial); ``max_workers`` bounds the pool.
+        """
+        if mode not in ("serial", "parallel"):
+            raise ConfigurationError(
+                f"mode must be 'serial' or 'parallel', got {mode!r}"
+            )
         if not len(fields):
             raise ConfigurationError("batch needs at least one field")
         n = self.pipeline.n
@@ -80,7 +98,10 @@ class BatchConvolver:
                 raise ShapeError(
                     f"batch field shape {field.shape} != grid ({n},)*3"
                 )
-            results.append(self.pipeline.run_serial(field))
+            if mode == "parallel":
+                results.append(self.pipeline.run_parallel(field, max_workers))
+            else:
+                results.append(self.pipeline.run_serial(field))
         return BatchResult(
             results=results,
             patterns_built=len(self.pipeline._pattern_cache),

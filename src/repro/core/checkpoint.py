@@ -38,26 +38,64 @@ def checkpoint_to_bytes(
 
 
 def checkpoint_from_bytes(blob: bytes) -> Dict[int, CompressedField]:
-    """Unpack a checkpoint blob into ``{sub-domain index: field}``."""
+    """Unpack a checkpoint blob into ``{sub-domain index: field}``.
+
+    Hardened against truncated or corrupt blobs: every failure mode —
+    short reads, negative counts/lengths, duplicate indices, undecodable
+    entry payloads — raises :class:`~repro.errors.ConfigurationError`
+    with the byte offset and entry index, never a bare ``struct.error``
+    or a silently misparsed result.
+    """
     if not blob.startswith(_CHECKPOINT_MAGIC):
         raise ConfigurationError("not a checkpoint blob (bad magic)")
     offset = len(_CHECKPOINT_MAGIC)
     if len(blob) < offset + 8:
-        raise ConfigurationError("truncated checkpoint header")
+        raise ConfigurationError(
+            f"truncated checkpoint header: {len(blob)} bytes, need "
+            f"{offset + 8}"
+        )
     (count,) = struct.unpack_from("<q", blob, offset)
     offset += 8
     if count < 0:
-        raise ConfigurationError("corrupt checkpoint (negative count)")
+        raise ConfigurationError(f"corrupt checkpoint (negative count {count})")
     out: Dict[int, CompressedField] = {}
-    for _ in range(count):
+    for entry in range(count):
         if len(blob) < offset + _ENTRY_HEADER.size:
-            raise ConfigurationError("truncated checkpoint entry header")
+            raise ConfigurationError(
+                f"truncated checkpoint: entry {entry}/{count} header at "
+                f"offset {offset} overruns blob of {len(blob)} bytes"
+            )
         index, length = _ENTRY_HEADER.unpack_from(blob, offset)
         offset += _ENTRY_HEADER.size
         if length < 0 or len(blob) < offset + length:
-            raise ConfigurationError("truncated checkpoint entry payload")
-        out[int(index)] = deserialize_compressed(blob[offset : offset + length])
+            raise ConfigurationError(
+                f"truncated checkpoint: entry {entry} (sub-domain {index}) "
+                f"declares {length} payload bytes at offset {offset}, blob "
+                f"has {len(blob) - offset} left"
+            )
+        if index in out:
+            raise ConfigurationError(
+                f"corrupt checkpoint: duplicate sub-domain index {index} "
+                f"at entry {entry} (offset {offset})"
+            )
+        try:
+            out[int(index)] = deserialize_compressed(blob[offset : offset + length])
+        except ConfigurationError as exc:
+            raise ConfigurationError(
+                f"corrupt checkpoint entry {entry} (sub-domain {index}) at "
+                f"offset {offset}: {exc}"
+            ) from exc
+        except Exception as exc:  # decode_metadata etc. on garbage bytes
+            raise ConfigurationError(
+                f"undecodable checkpoint entry {entry} (sub-domain {index}) "
+                f"at offset {offset}: {type(exc).__name__}: {exc}"
+            ) from exc
         offset += length
+    if offset != len(blob):
+        raise ConfigurationError(
+            f"corrupt checkpoint: {len(blob) - offset} trailing bytes after "
+            f"{count} entries (offset {offset})"
+        )
     return out
 
 

@@ -40,6 +40,19 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def resolve_workers(num_tasks: int, max_workers: Optional[int] = None) -> int:
+    """The worker count a fan-out of ``num_tasks`` will actually use.
+
+    Mirrors :func:`convolve_subdomains_parallel`'s sizing (never more
+    processes than tasks; default = all cores) so benchmark reports can
+    record the true pool size instead of the requested one.
+    """
+    workers = max_workers if max_workers is not None else default_workers()
+    if workers < 1:
+        raise ConfigurationError(f"need >= 1 worker process, got {workers}")
+    return min(workers, max(1, num_tasks))
+
+
 def _attach(name: str, shape: Tuple[int, ...], dtype: str):
     # Note: with the default fork start method the workers share the
     # parent's resource tracker, which already owns cleanup of these
@@ -124,10 +137,7 @@ def convolve_subdomains_parallel(
     """
     if not indices:
         return []
-    workers = max_workers if max_workers is not None else default_workers()
-    if workers < 1:
-        raise ConfigurationError(f"need >= 1 worker process, got {workers}")
-    workers = min(workers, len(indices))
+    workers = resolve_workers(len(indices), max_workers)
 
     if callable(kernel_spectrum):
         try:

@@ -57,3 +57,30 @@ class ConvergenceError(ReproError):
         super().__init__(message)
         self.iterations = int(iterations)
         self.residual = float(residual)
+
+
+class ServiceError(ReproError):
+    """A request failed inside the :mod:`repro.serve` serving layer.
+
+    Base class for everything the convolution service can do to a request
+    other than complete it; carries the terminal request state name so
+    callers logging failures do not need to re-derive it.
+    """
+
+    def __init__(self, message: str, *, request_id: int | None = None):
+        super().__init__(message)
+        #: id of the request this error terminated (None for server-level errors)
+        self.request_id = request_id
+
+
+class AdmissionError(ServiceError):
+    """The server refused to enqueue a request (queue full / bad config).
+
+    This is the reject-on-full admission control: under overload the
+    service sheds load at the front door instead of growing an unbounded
+    backlog.
+    """
+
+
+class RequestTimeoutError(ServiceError, TimeoutError):
+    """A request's deadline expired before (or while) it could be served."""

@@ -25,6 +25,7 @@ A plan comes in two flavours:
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -156,6 +157,13 @@ class PlanCache:
     All sub-domains whose patterns retain the same per-axis coordinate
     sets (congruent patterns) share one plan — and all plans share one
     :class:`PadScratch`, so pad buffers are reused across sub-domains too.
+
+    Lookup/insert is thread-safe: the serving layer submits congruent
+    work from scheduler threads, so concurrent :meth:`get` calls on one
+    cache must neither corrupt the dict nor build duplicate plans.  The
+    lock is held across a miss's plan construction — deliberately, so a
+    burst of congruent first requests builds each plan exactly once
+    instead of racing N identical builds.
     """
 
     def __init__(self, max_plans: int = 64):
@@ -164,6 +172,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._plans: Dict[Tuple, PrunedPlan] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -183,18 +192,19 @@ class PlanCache:
         cy = _coords_array(coords_y, n)
         cz = _coords_array(coords_z, n)
         key = (n, be.name, bool(hermitian), _digest(cx), _digest(cy), _digest(cz))
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            plan = PrunedPlan(
-                n, cx, cy, cz, backend=be, hermitian=hermitian, scratch=self.scratch
-            )
-            if len(self._plans) >= self.max_plans:
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[key] = plan
-        else:
-            self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                plan = PrunedPlan(
+                    n, cx, cy, cz, backend=be, hermitian=hermitian, scratch=self.scratch
+                )
+                if len(self._plans) >= self.max_plans:
+                    self._plans.pop(next(iter(self._plans)))
+                self._plans[key] = plan
+            else:
+                self.hits += 1
+            return plan
 
 
 _DEFAULT_CACHE = PlanCache()

@@ -98,6 +98,14 @@ def deserialize_compressed(payload: bytes) -> CompressedField:
     meta_bytes = num_cells * METADATA_INTS_PER_CELL * 4
     sizes_bytes = num_cells * 4
     offset = header_bytes
+    # Explicit length check: frombuffer on a short slice would silently
+    # yield fewer ints and misparse the octree rather than fail.
+    if len(payload) < offset + meta_bytes + sizes_bytes:
+        raise ConfigurationError(
+            f"payload of {len(payload)} bytes truncated: header declares "
+            f"{num_cells} cells needing {meta_bytes + sizes_bytes} metadata "
+            f"bytes at offset {offset}"
+        )
     meta = np.frombuffer(payload[offset : offset + meta_bytes], dtype=np.int32)
     offset += meta_bytes
     sizes = np.frombuffer(payload[offset : offset + sizes_bytes], dtype=np.int32)
@@ -111,6 +119,12 @@ def deserialize_compressed(payload: bytes) -> CompressedField:
         subdomain_size=k,
     )
     expected_values = pattern.sample_count
+    if (len(payload) - offset) % np.dtype(value_dtype).itemsize:
+        raise ConfigurationError(
+            f"value payload of {len(payload) - offset} bytes at offset "
+            f"{offset} is not a whole number of {value_dtype().nbytes}-byte "
+            "values"
+        )
     values = np.frombuffer(payload[offset:], dtype=value_dtype)
     if values.size != expected_values:
         raise ConfigurationError(

@@ -1,0 +1,57 @@
+"""repro.serve — a batching convolution service with admission control.
+
+The paper's batch-processing argument ("many instances of 3D FFTs per
+iteration ... optimizing cluster usage", §5.1/conclusion) is a *serving*
+workload: a stream of independent convolution requests whose congruent
+members can share sampling patterns and pruned-FFT plans.  This package
+is the subsystem that accepts such a stream and drives the fast
+primitives (:class:`~repro.core.batch.BatchConvolver`,
+:class:`~repro.fft.pruned_plan.PlanCache`) at high utilization:
+
+- :class:`ConvolutionServer` — the front door: bounded queue,
+  reject-on-full admission control, per-request deadlines, retries;
+- :class:`BatchingScheduler` — dynamic batching by compatibility key
+  under ``max_batch_size`` / ``max_wait`` triggers;
+- :class:`BatchExecutor` — warm per-key engines on the serial or
+  process-parallel execution paths;
+- :class:`MetricsRegistry` — counters/gauges/histograms snapshot-able to
+  JSON;
+- :mod:`repro.serve.loadgen` — a deterministic synthetic load generator
+  behind ``python -m repro serve-bench``.
+
+Everything reads time through an injectable :class:`Clock`, so scheduler
+behaviour is fully testable with a :class:`ManualClock` — no sleeps.
+"""
+
+from repro.serve.clock import Clock, ManualClock, MonotonicClock
+from repro.serve.executor import BatchExecutor
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.queue import BoundedRequestQueue
+from repro.serve.request import (
+    ConvolutionRequest,
+    RequestHandle,
+    RequestState,
+    TERMINAL_STATES,
+)
+from repro.serve.scheduler import Batch, BatchingScheduler
+from repro.serve.server import ConvolutionServer, ServerConfig
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "ConvolutionServer",
+    "ServerConfig",
+    "ConvolutionRequest",
+    "RequestHandle",
+    "RequestState",
+    "TERMINAL_STATES",
+    "Batch",
+    "BatchingScheduler",
+    "BatchExecutor",
+    "BoundedRequestQueue",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]

@@ -1,0 +1,246 @@
+"""Deterministic synthetic load generation + the serve-bench driver.
+
+The load generator produces a reproducible stream of convolution requests
+(seeded fields, optionally spread over several kernels so the stream is
+only *partially* batchable — the realistic case).  The benchmark driver
+serves the same stream two ways and compares throughput:
+
+- **naive** — the one-request-at-a-time executor a service without a
+  batching layer would be: each request handled independently with a
+  freshly constructed pipeline (no shared sampling patterns, no shared
+  pruned-FFT plans), exactly like a stateless per-request handler;
+- **batched** — through :class:`~repro.serve.server.ConvolutionServer`,
+  where the dynamic batcher groups congruent requests onto warm engines.
+
+Both paths produce bitwise-identical results (verified per request), so
+the speedup is pure fixed-cost amortization — the paper's batch-processing
+claim measured end to end.  The report schema matches
+``benchmarks/bench_parallel_pipeline.py`` (shared top-level keys: ``n``,
+``k``, ``cpu_count``, ``workers_used``, ``python``, ``results``,
+``speedup``) so bench files stay machine-comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.parallel import resolve_workers
+from repro.core.pipeline import LowCommConvolution3D
+from repro.core.policy import SamplingPolicy
+from repro.errors import ConfigurationError
+from repro.kernels.gaussian import GaussianKernel
+from repro.serve.server import ConvolutionServer, ServerConfig
+from repro.util.validation import check_positive_int
+
+
+def parse_policy(spec: str) -> SamplingPolicy:
+    """Parse a policy spec string: ``"banded"`` or ``"flat:R"``."""
+    if spec == "banded":
+        return SamplingPolicy()
+    if spec.startswith("flat:"):
+        try:
+            rate = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise ConfigurationError(f"bad flat policy spec {spec!r}") from None
+        return SamplingPolicy.flat_rate(rate)
+    raise ConfigurationError(
+        f"policy spec must be 'banded' or 'flat:R', got {spec!r}"
+    )
+
+
+@dataclass
+class LoadSpec:
+    """A reproducible synthetic request stream.
+
+    ``num_kernels > 1`` spreads requests round-robin over that many
+    Gaussian kernels of different widths, producing several compatibility
+    groups (each still batchable within itself).
+    """
+
+    n: int = 64
+    k: int = 16
+    num_requests: int = 16
+    num_kernels: int = 1
+    sigma: float = 2.0
+    policy: str = "banded"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n, "n")
+        check_positive_int(self.k, "k")
+        check_positive_int(self.num_requests, "num_requests")
+        check_positive_int(self.num_kernels, "num_kernels")
+
+    def kernels(self) -> Dict[str, np.ndarray]:
+        """Named kernel spectra for the stream (widths sigma, sigma+0.5...)."""
+        return {
+            f"gauss{i}": GaussianKernel(n=self.n, sigma=self.sigma + 0.5 * i).spectrum()
+            for i in range(self.num_kernels)
+        }
+
+    def requests(self) -> List[dict]:
+        """The deterministic stream: per-request field + kernel name."""
+        rng = np.random.default_rng(self.seed)
+        out = []
+        for i in range(self.num_requests):
+            # Composite-like inputs (signal in the central half-cube), as
+            # the pipeline CLI uses — the workload the error analysis targets.
+            field = np.zeros((self.n,) * 3)
+            q = self.n // 4
+            field[q : self.n - q, q : self.n - q, q : self.n - q] = (
+                rng.standard_normal((self.n - 2 * q,) * 3)
+            )
+            out.append({"field": field, "kernel": f"gauss{i % self.num_kernels}"})
+        return out
+
+
+@dataclass
+class BenchReport:
+    """Outcome of one serve-bench run (see :func:`run_serve_benchmark`)."""
+
+    naive_s: float
+    batched_s: float
+    bitwise_identical: bool
+    batches: int
+    batch_size_mean: float
+    metrics: dict
+    results_equal_direct: bool = True
+    extras: dict = dataclass_field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Naive elapsed over batched elapsed (higher = batching wins)."""
+        return self.naive_s / self.batched_s if self.batched_s else float("inf")
+
+
+def run_naive_baseline(spec: LoadSpec, policy: SamplingPolicy) -> tuple:
+    """Serve the stream one request at a time, stateless per request.
+
+    Returns ``(elapsed_s, results)`` where results are the dense approx
+    arrays in stream order.
+    """
+    kernels = spec.kernels()
+    stream = spec.requests()
+    t0 = time.perf_counter()
+    results = []
+    for item in stream:
+        pipeline = LowCommConvolution3D(spec.n, spec.k, kernels[item["kernel"]], policy)
+        results.append(pipeline.run_serial(item["field"]).approx)
+    return time.perf_counter() - t0, results
+
+
+def run_batched_server(
+    spec: LoadSpec,
+    policy: SamplingPolicy,
+    config: Optional[ServerConfig] = None,
+) -> tuple:
+    """Serve the stream through the batching server.
+
+    Returns ``(elapsed_s, results, server)``; elapsed covers submit
+    through last completion (the server is constructed outside the timed
+    region, matching the naive baseline, which also pays construction
+    per request *inside* its loop — that asymmetry is the point).
+    """
+    config = config or ServerConfig()
+    config.n, config.k = spec.n, spec.k
+    config.default_policy = policy
+    server = ConvolutionServer(config)
+    for name, spectrum in spec.kernels().items():
+        server.register_kernel(name, spectrum)
+    stream = spec.requests()
+    t0 = time.perf_counter()
+    handles = [server.submit(item["field"], kernel=item["kernel"]) for item in stream]
+    server.drain()
+    results = [h.result(timeout=0) for h in handles]
+    elapsed = time.perf_counter() - t0
+    return elapsed, [r.approx for r in results], server
+
+
+def run_serve_benchmark(
+    spec: LoadSpec, config: Optional[ServerConfig] = None
+) -> BenchReport:
+    """Naive vs batched serving of the same stream, results cross-checked.
+
+    Also verifies the batched results bitwise against a *direct*
+    ``LowCommConvolution3D.run_serial`` per request — the acceptance
+    property that batching is a pure reordering, not an approximation.
+    """
+    policy = parse_policy(spec.policy)
+    # Warm process-wide caches (interpolation weights, default plan cache)
+    # once so neither timed section gets a cold-start handicap the other
+    # doesn't: the comparison targets steady-state serving.
+    warm = LoadSpec(
+        n=spec.n, k=spec.k, num_requests=1, num_kernels=1,
+        sigma=spec.sigma, policy=spec.policy, seed=spec.seed,
+    )
+    run_naive_baseline(warm, policy)
+
+    naive_s, naive_results = run_naive_baseline(spec, policy)
+    batched_s, batched_results, server = run_batched_server(spec, policy, config)
+
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(naive_results, batched_results)
+    )
+    snap = server.snapshot()
+    sizes = snap["histograms"].get("batch.size", {})
+    return BenchReport(
+        naive_s=naive_s,
+        batched_s=batched_s,
+        bitwise_identical=identical,
+        batches=snap["counters"].get("batches_executed", 0),
+        batch_size_mean=float(sizes.get("mean", 0.0)),
+        metrics=snap,
+    )
+
+
+def bench_report_json(spec: LoadSpec, report: BenchReport,
+                      config: ServerConfig) -> dict:
+    """Assemble the ``BENCH_serve.json`` payload (shared bench schema)."""
+    requests = spec.num_requests
+    workers_used = (
+        resolve_workers((spec.n // spec.k) ** 3, config.max_workers)
+        if config.mode == "parallel"
+        else 1
+    )
+    return {
+        "bench": "serve",
+        "n": spec.n,
+        "k": spec.k,
+        "sigma": spec.sigma,
+        "repeats": 1,
+        "policy": spec.policy,
+        "cpu_count": os.cpu_count(),
+        "workers_used": workers_used,
+        "python": platform.python_version(),
+        "results": {
+            "naive": {
+                "median_s": report.naive_s,
+                "times_s": [report.naive_s],
+                "throughput_rps": requests / report.naive_s,
+            },
+            "batched": {
+                "median_s": report.batched_s,
+                "times_s": [report.batched_s],
+                "throughput_rps": requests / report.batched_s,
+            },
+        },
+        "speedup": {"batched_vs_naive": report.speedup},
+        "serve": {
+            "requests": requests,
+            "num_kernels": spec.num_kernels,
+            "seed": spec.seed,
+            "mode": config.mode,
+            "max_batch_size": config.max_batch_size,
+            "max_wait_s": config.max_wait_s,
+            "batches_executed": report.batches,
+            "batch_size_mean": report.batch_size_mean,
+            "bitwise_identical": report.bitwise_identical,
+            "metrics": report.metrics,
+        },
+    }

@@ -1,0 +1,102 @@
+"""Dynamic batching: group compatible requests, flush on size or age.
+
+The scheduler is pure policy over the queue's state — it owns no threads
+and never sleeps, which is what keeps it deterministic under an injected
+clock.  Each call to :meth:`due_batches` answers "which batches should
+start *now*?" from two classic triggers:
+
+- **size**: a compatibility group has ``max_batch_size`` eligible
+  requests — a full batch ships immediately (waiting longer cannot
+  improve amortization, only latency);
+- **age**: the oldest eligible request in a group has waited
+  ``max_wait`` since it was (re-)queued — a partial batch ships so light
+  traffic is not held hostage to the batching window.
+
+:meth:`next_event_time` exposes the earliest future instant at which a
+new decision could fire (an age flush, a retry-backoff expiry, or a
+deadline), so drivers can advance a manual clock — or sleep a real one —
+by exactly the right amount instead of polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.serve.queue import BoundedRequestQueue
+from repro.serve.request import CompatKey, ConvolutionRequest
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class Batch:
+    """A set of compatible requests scheduled to run together."""
+
+    key: CompatKey
+    requests: List[ConvolutionRequest]
+    formed_at: float
+    #: which trigger shipped it ("size" or "age") — recorded into metrics
+    reason: str
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class BatchingScheduler:
+    """Size/age batch formation over a :class:`BoundedRequestQueue`."""
+
+    def __init__(self, queue: BoundedRequestQueue, max_batch_size: int,
+                 max_wait: float):
+        self.queue = queue
+        self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        self.max_wait = float(max_wait)
+
+    # -- decision points -----------------------------------------------------
+    def _eligible(self, key: CompatKey, now: float) -> List[ConvolutionRequest]:
+        """The FIFO-contiguous eligible prefix of a group."""
+        eligible: List[ConvolutionRequest] = []
+        for request in self.queue.group(key):
+            if request.not_before > now:
+                break  # preserve order: a backing-off retry parks the group
+            eligible.append(request)
+        return eligible
+
+    def due_batches(self, now: float) -> List[Batch]:
+        """Form and pop every batch whose trigger has fired at ``now``."""
+        batches: List[Batch] = []
+        for key in self.queue.keys:
+            while True:
+                eligible = self._eligible(key, now)
+                if not eligible:
+                    break
+                if len(eligible) >= self.max_batch_size:
+                    reason = "size"
+                elif now - eligible[0].queued_at >= self.max_wait:
+                    reason = "age"
+                else:
+                    break
+                requests = self.queue.pop_batch(key, self.max_batch_size, now)
+                batches.append(
+                    Batch(key=key, requests=requests, formed_at=now, reason=reason)
+                )
+        return batches
+
+    def next_event_time(self, now: float) -> Optional[float]:
+        """Earliest future time a new batch or expiry could become due.
+
+        None when the queue is empty.  The returned time is strictly
+        greater than ``now`` unless a trigger is already due (callers
+        should run :meth:`due_batches` first).
+        """
+        candidates: List[float] = []
+        for key in self.queue.keys:
+            group = self.queue.group(key)
+            front = group[0]
+            # Age flush for the current front (or, if the front is a
+            # backing-off retry, the earliest it could possibly ship).
+            candidates.append(max(front.queued_at + self.max_wait, front.not_before))
+            candidates.extend(r.not_before for r in group if r.not_before > now)
+        deadline = self.queue.next_deadline()
+        if deadline is not None:
+            candidates.append(deadline)
+        return min(candidates) if candidates else None

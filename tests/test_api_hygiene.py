@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.massif",
     "repro.baselines",
     "repro.fftx",
+    "repro.serve",
     "repro.analysis",
 ]
 

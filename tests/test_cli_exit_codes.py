@@ -1,0 +1,74 @@
+"""CLI contract tests: exit codes and usable error messages.
+
+The CLI promises: 0 on success, 2 on bad arguments/configuration, with a
+one-line message on stderr rather than a traceback.  Also smoke-tests the
+``serve-bench`` command on a tiny configuration.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExitCodes:
+    def test_bad_experiment_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-a-thing"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_pipeline_k_not_dividing_n_exits_2_with_message(self, capsys):
+        rc = main(["pipeline", "--n", "16", "--k", "5"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert "divide" in captured.err
+
+    def test_pipeline_negative_n_exits_2_with_message(self, capsys):
+        rc = main(["pipeline", "--n", "-4"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+
+    def test_serve_bench_bad_policy_exits_2(self, capsys, tmp_path):
+        rc = main([
+            "serve-bench", "--n", "16", "--k", "4", "--requests", "2",
+            "--policy", "bogus", "--output", str(tmp_path / "x.json"),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "policy spec" in captured.err
+
+    def test_pipeline_happy_path_exits_0(self, capsys):
+        rc = main(["pipeline", "--n", "16", "--k", "4"])
+        assert rc == 0
+        assert "pipeline run" in capsys.readouterr().out
+
+
+class TestServeBenchSmoke:
+    def test_tiny_serve_bench_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        rc = main([
+            "serve-bench",
+            "--n", "32", "--k", "8",
+            "--requests", "4",
+            "--policy", "flat:4",
+            "--max-batch-size", "4",
+            "--max-wait", "0.01",
+            "--output", str(out),
+        ])
+        assert rc == 0
+        assert "serve-bench" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["bench"] == "serve"
+        assert report["n"] == 32 and report["k"] == 8
+        assert report["cpu_count"] >= 1
+        assert report["workers_used"] >= 1
+        assert report["serve"]["bitwise_identical"] is True
+        assert report["serve"]["requests"] == 4
+        assert set(report["results"]) == {"naive", "batched"}
+        for entry in report["results"].values():
+            assert entry["median_s"] > 0
+            assert entry["throughput_rps"] > 0

@@ -98,3 +98,58 @@ class TestFailureRecovery:
         lc.convolve = counting  # type: ignore[method-assign]
         recover_missing(restored, DomainDecomposition(n, k), field, lc, pol)
         assert not calls
+
+
+class TestCheckpointCorruption:
+    """Hardening: corrupt blobs fail loudly with offset context."""
+
+    def _blob(self, run):
+        *_rest, result = run
+        return checkpoint_to_bytes(result.per_domain)
+
+    def test_roundtrip_then_truncated_entry_payload(self, run):
+        blob = self._blob(run)
+        assert checkpoint_from_bytes(blob)  # sanity: intact blob decodes
+        with pytest.raises(ConfigurationError, match=r"offset \d+"):
+            checkpoint_from_bytes(blob[:-7])
+
+    def test_corrupt_entry_length_field(self, run):
+        blob = bytearray(self._blob(run))
+        # First entry header sits right after magic + count; its length
+        # field is the second int64. Blow it up to an absurd value.
+        offset = len(b"LC3DCKPT") + 8 + 8
+        blob[offset : offset + 8] = (1 << 40).to_bytes(8, "little")
+        with pytest.raises(ConfigurationError, match="declares"):
+            checkpoint_from_bytes(bytes(blob))
+
+    def test_garbage_entry_payload_not_struct_error(self, run):
+        blob = bytearray(self._blob(run))
+        # Zero out the serialized payload of the first entry (keeping its
+        # declared length): the inner decoder must surface a
+        # ConfigurationError with entry context, never struct.error or a
+        # silent misparse.
+        start = len(b"LC3DCKPT") + 8 + 16
+        import struct as struct_mod
+
+        _index, length = struct_mod.unpack_from("<qq", bytes(blob), len(b"LC3DCKPT") + 8)
+        blob[start : start + length] = bytes(length)
+        with pytest.raises(ConfigurationError, match="entry 0"):
+            checkpoint_from_bytes(bytes(blob))
+
+    def test_truncated_header_and_bad_magic(self):
+        with pytest.raises(ConfigurationError, match="magic"):
+            checkpoint_from_bytes(b"NOTACKPT" + b"\0" * 16)
+        with pytest.raises(ConfigurationError, match="truncated checkpoint header"):
+            checkpoint_from_bytes(b"LC3DCKPT" + b"\0" * 3)
+
+    def test_trailing_garbage_detected(self, run):
+        blob = self._blob(run)
+        with pytest.raises(ConfigurationError, match="trailing"):
+            checkpoint_from_bytes(blob + b"\xff" * 4)
+
+    def test_negative_count_detected(self, run):
+        blob = bytearray(self._blob(run))
+        offset = len(b"LC3DCKPT")
+        blob[offset : offset + 8] = (-1).to_bytes(8, "little", signed=True)
+        with pytest.raises(ConfigurationError, match="negative count"):
+            checkpoint_from_bytes(bytes(blob))

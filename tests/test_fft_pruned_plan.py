@@ -246,3 +246,38 @@ class TestPlanCache:
     def test_module_level_get_plan(self):
         c = np.array([0, 5])
         assert get_plan(16, c, c, c) is get_plan(16, c, c, c)
+
+
+class TestPlanCacheThreadSafety:
+    def test_concurrent_congruent_gets_build_once(self):
+        # The serving layer submits congruent work from scheduler threads:
+        # hammer one cache from many threads and require exactly one build
+        # per distinct configuration, one shared plan object, and
+        # consistent hit/miss accounting.
+        import threading
+
+        cache = PlanCache()
+        coord_sets = [np.arange(m + 2) for m in range(4)]
+        seen = [[] for _ in range(8)]
+        barrier = threading.Barrier(8)
+
+        def worker(slot):
+            barrier.wait()  # maximize interleaving on the first gets
+            for _ in range(50):
+                for coords in coord_sets:
+                    seen[slot].append(cache.get(16, coords, coords, coords))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(cache) == len(coord_sets)
+        assert cache.misses == len(coord_sets)
+        assert cache.hits == 8 * 50 * len(coord_sets) - cache.misses
+        # every thread saw the same plan object per configuration
+        canonical = [cache.get(16, c, c, c) for c in coord_sets]
+        for slot in seen:
+            for i, plan in enumerate(slot):
+                assert plan is canonical[i % len(coord_sets)]
