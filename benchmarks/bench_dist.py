@@ -1,0 +1,142 @@
+"""Real-transport dist-run benchmark: wall time + wire bytes vs Eq 6.
+
+Standalone script (not a pytest-benchmark module): runs the full SPMD
+pipeline at n=32, k=8, flat:2 over P in {1, 2, 4} ranks on both real
+transports —
+
+- ``local`` — loopback queues, one thread per rank (transport overhead
+  floor);
+- ``tcp``   — one OS process per rank, length-prefixed frames over
+  localhost sockets (the real wire);
+
+verifies every run bitwise against ``run_serial``, takes the median of 3
+runs each, and writes ``BENCH_dist.json`` at the repository root with the
+measured exchange wire bytes, the exact Eq 6 value-byte prediction, and
+their ratio (the acceptance bar is ratio <= 1.05 at this configuration).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dist.launcher import default_spectrum, dist_run, simulated_crosscheck
+from repro.dist.worker import DistConfig, build_pipeline, composite_field
+
+N, K, SIGMA, POLICY, REPEATS, SEED = 32, 8, 2.0, "flat:2", 3, 0
+RANK_COUNTS = (1, 2, 4)
+TRANSPORTS = ("local", "tcp")
+
+
+def _run_config(config, field, spectrum, serial):
+    times = []
+    report = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        report = dist_run(config, field=field, spectrum=spectrum)
+        times.append(time.perf_counter() - t0)
+        if not np.array_equal(report.approx, serial.approx):
+            raise AssertionError(
+                f"{config.transport} P={config.num_ranks}: "
+                "not bitwise identical to run_serial"
+            )
+    return statistics.median(times), times, report
+
+
+def main() -> dict:
+    base = DistConfig(n=N, k=K, sigma=SIGMA, policy=POLICY, seed=SEED)
+    field = composite_field(N, SEED)
+    spectrum = default_spectrum(base)
+    serial = build_pipeline(base, spectrum).run_serial(field)
+
+    results = {}
+    for transport in TRANSPORTS:
+        for ranks in RANK_COUNTS:
+            config = DistConfig(
+                n=N,
+                k=K,
+                sigma=SIGMA,
+                policy=POLICY,
+                seed=SEED,
+                num_ranks=ranks,
+                transport=transport,
+            )
+            median, times, report = _run_config(config, field, spectrum, serial)
+            name = f"{transport}_p{ranks}"
+            results[name] = {
+                "median_s": median,
+                "times_s": times,
+                "exchange_wire_bytes": report.exchange_wire_bytes,
+                "predicted_value_bytes": report.predicted_value_bytes,
+                "naive_eq6_bytes": report.naive_eq6_bytes,
+                "wire_over_model": report.wire_over_model,
+                "max_compute_s": report.max_compute_s,
+                "max_exchange_s": report.max_exchange_s,
+                "bitwise_vs_serial": True,
+            }
+            print(
+                f"{name:10s} median {median:6.3f} s  "
+                f"wire {report.exchange_wire_bytes:>9d} B  "
+                f"model {report.predicted_value_bytes:>9d} B  "
+                f"ratio {report.wire_over_model:.4f}"
+            )
+
+    sim = simulated_crosscheck(
+        DistConfig(
+            n=N, k=K, sigma=SIGMA, policy=POLICY, seed=SEED, num_ranks=4
+        ),
+        field=field,
+        spectrum=spectrum,
+    )
+
+    # Shared bench schema (same top-level keys as BENCH_pipeline.json /
+    # BENCH_serve.json) so files are machine-comparable.
+    report = {
+        "bench": "dist",
+        "n": N,
+        "k": K,
+        "sigma": SIGMA,
+        "repeats": REPEATS,
+        "policy": POLICY,
+        "cpu_count": os.cpu_count(),
+        "workers_used": max(RANK_COUNTS),
+        "python": platform.python_version(),
+        "results": results,
+        "speedup": {
+            "tcp_p4_vs_p1": results["tcp_p1"]["median_s"]
+            / results["tcp_p4"]["median_s"],
+            "local_p4_vs_p1": results["local_p1"]["median_s"]
+            / results["local_p4"]["median_s"],
+        },
+        "crosscheck": {
+            "simulated_allgather_bytes": sim["allgather_bytes"],
+            "simulated_allgather_rounds": sim["allgather_rounds"],
+            "predicted_value_bytes_p4": results["tcp_p4"][
+                "predicted_value_bytes"
+            ],
+        },
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    ratio = results["tcp_p4"]["wire_over_model"]
+    print(
+        f"\ntcp 4-rank wire/model {ratio:.4f} (bar: <= 1.05), "
+        f"sim allgather == model: "
+        f"{sim['allgather_bytes'] == results['tcp_p4']['predicted_value_bytes']}"
+        f" -> {out.name}"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,8 @@ Sub-packages
 - :mod:`repro.fftx` — a miniature FFTX-style plan DSL (paper §6).
 - :mod:`repro.serve` — the serving layer: a batching convolution service
   with admission control, request lifecycle tracking, and metrics.
+- :mod:`repro.dist` — the real rank runtime: one process per rank,
+  wire-level sparse exchange over pluggable transports, fault recovery.
 - :mod:`repro.analysis` — experiment drivers and report/table rendering.
 """
 
@@ -30,10 +32,12 @@ from repro.errors import (
     ConvergenceError,
     DeviceMemoryError,
     PlanError,
+    RankFailure,
     ReproError,
     RequestTimeoutError,
     ServiceError,
     ShapeError,
+    TransportError,
 )
 
 __all__ = [
@@ -44,6 +48,8 @@ __all__ = [
     "PlanError",
     "DeviceMemoryError",
     "CommunicationError",
+    "RankFailure",
+    "TransportError",
     "ConvergenceError",
     "ServiceError",
     "AdmissionError",

@@ -17,6 +17,8 @@ Usage::
                                     # run the end-to-end pipeline itself
     python -m repro serve-bench --requests 16
                                     # batched serving vs naive baseline
+    python -m repro dist-run --ranks 4 --transport tcp
+                                    # real multi-process SPMD run
 
 Exit codes: 0 on success, 2 on bad arguments or configuration errors
 (argparse errors also exit 2), with a one-line message on stderr —
@@ -187,6 +189,44 @@ def _pipeline(args: argparse.Namespace) -> None:
     )
 
 
+def _dist_run(args: argparse.Namespace) -> None:
+    """Run the pipeline as a real SPMD job and validate it end to end."""
+    import numpy as np
+
+    from repro.dist.launcher import default_spectrum, dist_run
+    from repro.dist.worker import DistConfig, build_pipeline, composite_field
+
+    config = DistConfig(
+        n=args.n,
+        k=args.k,
+        sigma=args.sigma,
+        policy=args.policy,
+        num_ranks=args.ranks,
+        transport=args.transport,
+        seed=args.seed,
+        real_kernel=args.real_kernel,
+    )
+    field = composite_field(config.n, config.seed)
+    spectrum = default_spectrum(config)
+    report = dist_run(config, field=field, spectrum=spectrum)
+    serial = build_pipeline(config, spectrum).run_serial(field)
+    bitwise = bool(np.array_equal(report.approx, serial.approx))
+    rows = [
+        ["transport / ranks", f"{config.transport} / {config.num_ranks}"],
+        ["n / k / policy", f"{config.n} / {config.k} / {config.policy}"],
+        ["bitwise identical to run_serial", bitwise],
+        ["failed ranks", report.failed_ranks or "none"],
+        ["recovered from checkpoints", report.recovered],
+        ["exchange wire bytes (measured)", report.exchange_wire_bytes],
+        ["exchange value bytes (Eq 6 exact)", report.predicted_value_bytes],
+        ["wire / model ratio", f"{report.wire_over_model:.4f}"],
+        ["slowest rank compute (s)", f"{report.max_compute_s:.3f}"],
+        ["slowest rank exchange (s)", f"{report.max_exchange_s:.3f}"],
+        ["elapsed (s)", f"{report.elapsed_s:.3f}"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="dist-run"))
+
+
 def _serve_bench(args: argparse.Namespace) -> None:
     """Benchmark batched serving against the naive per-request baseline."""
     import json
@@ -263,10 +303,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "pipeline", "serve-bench"],
+        choices=sorted(COMMANDS) + ["all", "pipeline", "serve-bench", "dist-run"],
         help="which experiment to run ('pipeline' runs the end-to-end "
         "convolution itself; 'serve-bench' benchmarks the batching "
-        "service; see the flag groups below)",
+        "service; 'dist-run' executes the pipeline as a real multi-process "
+        "SPMD job; see the flag groups below)",
     )
     group = parser.add_argument_group("pipeline options")
     group.add_argument("--n", type=int, default=64, help="global grid edge")
@@ -298,6 +339,17 @@ def main(argv: list[str] | None = None) -> int:
         dest="real_kernel",
         action="store_false",
         help="force the full complex path",
+    )
+    dist = parser.add_argument_group("dist-run options")
+    dist.add_argument(
+        "--ranks", type=int, default=2, help="number of SPMD ranks"
+    )
+    dist.add_argument(
+        "--transport",
+        choices=["local", "tcp"],
+        default="tcp",
+        help="rank transport: 'tcp' = one OS process per rank over "
+        "localhost sockets, 'local' = in-process loopback threads",
     )
     serve = parser.add_argument_group("serve-bench options")
     serve.add_argument(
@@ -334,6 +386,8 @@ def main(argv: list[str] | None = None) -> int:
             _pipeline(args)
         elif args.experiment == "serve-bench":
             _serve_bench(args)
+        elif args.experiment == "dist-run":
+            _dist_run(args)
         elif args.experiment == "all":
             for name in sorted(COMMANDS):
                 print(f"\n================ {name} ================")

@@ -82,15 +82,30 @@ class DistributedLowCommConvolution:
         field: np.ndarray,
         num_ranks: int,
         max_workers: Optional[int] = None,
+        transport: str = "simulated",
     ) -> DistributedRunReport:
-        """Run across ``num_ranks`` simulated ranks.
+        """Run across ``num_ranks`` ranks.
 
-        ``max_workers`` (optional) executes the local numerics on a real
-        process pool via :meth:`LowCommConvolution3D.run_parallel`'s
-        machinery; the simulated communication accounting is unchanged.
+        ``transport`` selects the substrate: ``"simulated"`` (default)
+        keeps the in-process :class:`SimulatedComm` with modeled compute
+        and alpha-beta communication time; ``"local"`` / ``"tcp"`` hand
+        the job to the real rank runtime (:mod:`repro.dist`) — one
+        thread/process per rank, actual bytes on an actual transport —
+        and the report's ``comm_bytes`` / timings become *measured*
+        quantities.  ``max_workers`` (simulated transport only) executes
+        the local numerics on a real process pool via
+        :meth:`LowCommConvolution3D.run_parallel`'s machinery; the
+        simulated communication accounting is unchanged.
         """
         if num_ranks < 1:
             raise ConfigurationError(f"need >= 1 rank, got {num_ranks}")
+        if transport in ("local", "tcp"):
+            return self._run_real(field, num_ranks, transport)
+        if transport != "simulated":
+            raise ConfigurationError(
+                "transport must be 'simulated', 'local', or 'tcp', "
+                f"got {transport!r}"
+            )
         n = self.pipeline.n
         k = self.pipeline.k
         comm = SimulatedComm(
@@ -114,6 +129,45 @@ class DistributedLowCommConvolution:
             comm_s=comm.clock.category_total("comm"),
             comm_bytes=result.comm_bytes,
             alltoall_rounds=comm.ledger.alltoall_rounds,
+        )
+
+    def _run_real(
+        self, field: np.ndarray, num_ranks: int, transport: str
+    ) -> DistributedRunReport:
+        """Hand the job to the real rank runtime; report measured numbers."""
+        # Imported here: repro.dist builds on repro.core, not the reverse.
+        from repro.dist.launcher import dist_run
+        from repro.dist.worker import DistConfig
+        from repro.serve.loadgen import policy_spec
+
+        spectrum = self.pipeline._kernel_spectrum
+        if not isinstance(spectrum, np.ndarray):
+            raise ConfigurationError(
+                "real transports need a dense kernel spectrum (it is "
+                "broadcast to the ranks); on-the-fly pencil callables are "
+                "simulated-transport only"
+            )
+        config = DistConfig(
+            n=self.pipeline.n,
+            k=self.pipeline.k,
+            policy=policy_spec(self.policy),
+            interpolation=self.pipeline.interpolation,
+            batch=self.pipeline.local.batch,
+            real_kernel=self.pipeline._real_kernel_arg,
+            num_ranks=num_ranks,
+            transport=transport,
+        )
+        report = dist_run(config, field=field, spectrum=spectrum)
+        per_rank = [0.0] * num_ranks
+        for rank, result in report.rank_results.items():
+            per_rank[rank] = result.compute_s
+        return DistributedRunReport(
+            approx=report.approx,
+            num_ranks=num_ranks,
+            per_rank_compute_s=per_rank,
+            comm_s=report.max_exchange_s,
+            comm_bytes=report.exchange_wire_bytes,
+            alltoall_rounds=0,
         )
 
 

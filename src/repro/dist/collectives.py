@@ -1,0 +1,235 @@
+"""Rank-level communication API: tagged point-to-point + collectives.
+
+A :class:`Communicator` wraps one :class:`~repro.dist.transport.Transport`
+endpoint with the operations the pipeline needs:
+
+- ``send_payload`` / ``recv_payload`` — tagged point-to-point bytes;
+- ``broadcast`` — root fans a payload to every rank (input distribution);
+- ``sparse_allgather`` — every rank ships its payload to every peer and
+  receives all of theirs: *the* single sparse accumulation exchange of
+  the paper (Fig 1(b)), implemented deadlock-free on the transport's
+  ``exchange`` primitive;
+- ``alltoall`` — per-destination payloads, for baselines and tests;
+- ``barrier`` — empty exchange.
+
+The library's algorithms are bulk-synchronous (one collective in flight
+per phase, discriminated by tag), which keeps matching simple: frames
+from an unexpected phase are a protocol error, not a reordering case.
+Heartbeat frames are consumed here and fed to the
+:class:`~repro.dist.heartbeat.HeartbeatMonitor`, so prolonged peer
+silence surfaces as :class:`~repro.errors.RankFailure` even while a
+receive is blocked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dist.heartbeat import HeartbeatMonitor, HeartbeatSender
+from repro.dist.ledger import (
+    CATEGORY_BCAST,
+    CATEGORY_CONTROL,
+    CATEGORY_DATA,
+    CATEGORY_EXCHANGE,
+)
+from repro.dist.transport import Transport
+from repro.dist.wire import Frame, FrameKind
+from repro.errors import CommunicationError, TransportError
+
+#: Tags for the pipeline's bulk-synchronous phases.
+TAG_SPECTRUM = 1
+TAG_FIELD = 2
+TAG_EXCHANGE = 3
+TAG_BARRIER = 4
+
+#: Slice size for receive waits so the heartbeat monitor is consulted
+#: even while blocked on a quiet fabric.
+_POLL_SLICE_S = 0.25
+
+
+class Communicator:
+    """Collectives for one rank over a pluggable transport.
+
+    Parameters
+    ----------
+    transport:
+        The rank's transport endpoint.
+    recv_timeout_s:
+        Default deadline for every receive.
+    heartbeat_s:
+        Beacon interval; ``None`` disables heartbeating (the EOF-based
+        crash detection in the transports still applies).  When enabled,
+        peers silent for ``4 *`` this interval are declared failed.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        recv_timeout_s: float = 30.0,
+        heartbeat_s: Optional[float] = None,
+    ):
+        self.transport = transport
+        self.recv_timeout_s = float(recv_timeout_s)
+        self.monitor: Optional[HeartbeatMonitor] = None
+        self._sender: Optional[HeartbeatSender] = None
+        peers = [r for r in range(transport.size) if r != transport.rank]
+        if heartbeat_s is not None and peers:
+            self.monitor = HeartbeatMonitor(peers, timeout_s=4.0 * heartbeat_s)
+            self._sender = HeartbeatSender(transport, heartbeat_s)
+            self._sender.start()
+        #: out-of-phase frames parked until their phase asks for them
+        self._parked: List[Frame] = []
+
+    @property
+    def rank(self) -> int:
+        """This endpoint's rank id."""
+        return self.transport.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the job."""
+        return self.transport.size
+
+    # -- point-to-point -----------------------------------------------------
+    def send_payload(
+        self, dst: int, payload: bytes, tag: int, category: str = CATEGORY_DATA
+    ) -> None:
+        """Send ``payload`` to ``dst`` under ``tag``."""
+        self.transport.send(dst, Frame(FrameKind.DATA, self.rank, tag, payload), category)
+
+    def recv_payload(
+        self,
+        src: int,
+        tag: int,
+        timeout: Optional[float] = None,
+        category: str = CATEGORY_DATA,
+    ) -> bytes:
+        """Receive the payload tagged ``tag`` from ``src``.
+
+        Heartbeats are consumed silently; out-of-phase data frames are
+        parked for a later matching receive.  Raises
+        :class:`TransportError` on deadline, :class:`RankFailure` on peer
+        death or heartbeat silence.
+        """
+        deadline_budget = self.recv_timeout_s if timeout is None else float(timeout)
+        for i, parked in enumerate(self._parked):
+            if parked.src == src and parked.tag == tag:
+                return self._parked.pop(i).payload
+        import time as _time
+
+        deadline = _time.monotonic() + deadline_budget
+        while True:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"rank {self.rank}: receive of tag {tag} from rank {src} "
+                    f"timed out after {deadline_budget}s"
+                )
+            try:
+                frame = self.transport.recv(min(remaining, _POLL_SLICE_S), category)
+            except TransportError:
+                if self.monitor is not None:
+                    self.monitor.check()
+                continue  # re-check overall deadline
+            self._note(frame)
+            if frame.kind in (FrameKind.HEARTBEAT, FrameKind.BYE):
+                continue
+            if frame.src == src and frame.tag == tag:
+                return frame.payload
+            self._parked.append(frame)
+
+    def _note(self, frame: Frame) -> None:
+        if self.monitor is not None:
+            self.monitor.record(frame.src)
+
+    # -- collectives --------------------------------------------------------
+    def broadcast(
+        self,
+        payload: Optional[bytes],
+        root: int = 0,
+        tag: int = TAG_FIELD,
+        category: str = CATEGORY_BCAST,
+    ) -> bytes:
+        """Fan ``payload`` from ``root`` to every rank; returns the payload.
+
+        Non-root ranks pass ``payload=None`` and receive the root's bytes.
+        """
+        if not 0 <= root < self.size:
+            raise CommunicationError(f"broadcast root {root} out of range")
+        if self.rank == root:
+            if payload is None:
+                raise CommunicationError("broadcast root needs a payload")
+            for dst in range(self.size):
+                if dst != root:
+                    self.send_payload(dst, payload, tag, category)
+            return payload
+        return self.recv_payload(root, tag, category=category)
+
+    def sparse_allgather(
+        self,
+        payload: bytes,
+        tag: int = TAG_EXCHANGE,
+        category: str = CATEGORY_EXCHANGE,
+    ) -> List[bytes]:
+        """The single sparse exchange: all ranks swap payloads.
+
+        Returns the per-rank payloads indexed by source rank (this rank's
+        own payload included at its slot).  All traffic is counted under
+        the ``exchange`` category — these are exactly the bytes Eq 6
+        models.
+        """
+        peers = {r for r in range(self.size) if r != self.rank}
+        outgoing = {
+            dst: Frame(FrameKind.DATA, self.rank, tag, payload) for dst in peers
+        }
+        got = self.transport.exchange(
+            outgoing, peers, self.recv_timeout_s, category
+        )
+        for src, frame in got.items():
+            if frame.tag != tag:
+                raise CommunicationError(
+                    f"rank {self.rank}: exchange frame from rank {src} has "
+                    f"tag {frame.tag}, expected {tag}"
+                )
+            self._note(frame)
+        result: List[bytes] = [b""] * self.size
+        result[self.rank] = payload
+        for src, frame in got.items():
+            result[src] = frame.payload
+        return result
+
+    def alltoall(
+        self,
+        payloads: List[bytes],
+        tag: int = TAG_EXCHANGE,
+        category: str = CATEGORY_DATA,
+    ) -> List[bytes]:
+        """Variable payload per destination; returns per-source payloads."""
+        if len(payloads) != self.size:
+            raise CommunicationError(
+                f"alltoall needs one payload per rank ({self.size}), "
+                f"got {len(payloads)}"
+            )
+        peers = {r for r in range(self.size) if r != self.rank}
+        outgoing = {
+            dst: Frame(FrameKind.DATA, self.rank, tag, payloads[dst])
+            for dst in peers
+        }
+        got = self.transport.exchange(outgoing, peers, self.recv_timeout_s, category)
+        result: List[bytes] = [b""] * self.size
+        result[self.rank] = payloads[self.rank]
+        for src, frame in got.items():
+            self._note(frame)
+            result[src] = frame.payload
+        return result
+
+    def barrier(self, tag: int = TAG_BARRIER) -> None:
+        """Block until every rank has entered the barrier."""
+        if self.size > 1:
+            self.alltoall([b""] * self.size, tag=tag, category=CATEGORY_CONTROL)
+
+    def close(self) -> None:
+        """Stop heartbeating and close the transport gracefully."""
+        if self._sender is not None:
+            self._sender.stop()
+        self.transport.close()

@@ -1,0 +1,112 @@
+"""Liveness tracking: heartbeat beacons + a silence monitor.
+
+Crash detection via EOF (the transports' job) catches *dead* processes;
+it cannot catch a rank that is alive but wedged.  The heartbeat layer
+covers that: every rank's :class:`HeartbeatSender` thread beacons a tiny
+``HEARTBEAT`` frame to all peers on a fixed interval, and every rank's
+:class:`HeartbeatMonitor` records the last time each peer was heard from
+(any frame counts, not just beacons).  A receive loop that is otherwise
+stuck consults :meth:`HeartbeatMonitor.check` and converts prolonged
+silence into a typed :class:`~repro.errors.RankFailure` naming the
+silent ranks.
+
+The monitor takes an injectable clock so failure-detection logic is unit
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List
+
+from repro.dist.ledger import CATEGORY_CONTROL
+from repro.dist.wire import Frame, FrameKind
+from repro.errors import RankFailure
+
+
+class HeartbeatMonitor:
+    """Tracks when each peer was last heard from.
+
+    Parameters
+    ----------
+    peers:
+        The rank ids to watch.
+    timeout_s:
+        Silence longer than this marks a peer overdue.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        peers: List[int],
+        timeout_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.timeout_s = float(timeout_s)
+        self.clock = clock
+        now = clock()
+        self._last_seen: Dict[int, float] = {p: now for p in peers}
+        self._lock = threading.Lock()
+
+    def record(self, src: int) -> None:
+        """Note that ``src`` was just heard from (any frame counts)."""
+        with self._lock:
+            if src in self._last_seen:
+                self._last_seen[src] = self.clock()
+
+    def overdue(self) -> List[int]:
+        """Ranks silent for longer than the timeout, sorted."""
+        now = self.clock()
+        with self._lock:
+            return sorted(
+                p for p, t in self._last_seen.items() if now - t > self.timeout_s
+            )
+
+    def check(self) -> None:
+        """Raise :class:`RankFailure` if any peer is overdue."""
+        silent = self.overdue()
+        if silent:
+            raise RankFailure(
+                f"ranks {silent} have been silent for more than "
+                f"{self.timeout_s}s (heartbeat timeout)"
+            )
+
+
+class HeartbeatSender:
+    """Daemon thread beaconing ``HEARTBEAT`` frames to all peers.
+
+    Send failures are swallowed: a dead peer is detected and reported by
+    the receive path, not the beacon path.
+    """
+
+    def __init__(self, transport, interval_s: float):
+        self.transport = transport
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> None:
+        """Start beaconing."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop beaconing and join the thread."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=self.interval_s + 1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            for dst in range(self.transport.size):
+                if dst == self.transport.rank:
+                    continue
+                try:
+                    self.transport.send(
+                        dst,
+                        Frame(FrameKind.HEARTBEAT, self.transport.rank, 0),
+                        CATEGORY_CONTROL,
+                    )
+                except Exception:  # noqa: BLE001 - receive path reports deaths
+                    return

@@ -1,0 +1,93 @@
+"""WireLedger: actual bytes-on-wire, counted per traffic category.
+
+The simulated substrate's :class:`~repro.cluster.comm.TrafficLedger`
+counts what a collective *would* move; this ledger counts what a
+transport *did* move — every frame, header bytes included, split by the
+traffic category the sender declared (``exchange`` for the sparse
+accumulation payloads, ``bcast`` for input distribution, ``control`` for
+handshakes/heartbeats/close).  Cross-validating the two, and both against
+the Eq 6 cost model, is the CI invariant this package exists for.
+
+Counters and histograms are the :mod:`repro.serve.metrics` types, so a
+ledger snapshot is the same JSON shape as a serve-layer metrics snapshot
+and benchmark tooling reads both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.serve.metrics import DEFAULT_BYTE_BUCKETS, MetricsRegistry
+
+#: Traffic category for the single sparse accumulation exchange.
+CATEGORY_EXCHANGE = "exchange"
+#: Traffic category for input distribution (field / spectrum broadcast).
+CATEGORY_BCAST = "bcast"
+#: Traffic category for handshakes, heartbeats, and graceful close.
+CATEGORY_CONTROL = "control"
+#: Traffic category for generic point-to-point / alltoall data.
+CATEGORY_DATA = "data"
+
+
+class WireLedger:
+    """Per-endpoint wire accounting over a :class:`MetricsRegistry`.
+
+    Every sent and received frame is recorded with its *full* wire size
+    (header + payload) under ``sent.<category>.bytes`` /
+    ``recv.<category>.bytes`` counters plus frame counts, and observed
+    into a frame-size histogram.
+    """
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def record_send(self, category: str, nbytes: int) -> None:
+        """Count one outgoing frame of ``nbytes`` total wire bytes."""
+        self.metrics.counter(f"sent.{category}.frames").inc()
+        self.metrics.counter(f"sent.{category}.bytes").inc(int(nbytes))
+        self.metrics.observe("frame.bytes", float(nbytes), DEFAULT_BYTE_BUCKETS)
+
+    def record_recv(self, category: str, nbytes: int) -> None:
+        """Count one incoming frame of ``nbytes`` total wire bytes."""
+        self.metrics.counter(f"recv.{category}.frames").inc()
+        self.metrics.counter(f"recv.{category}.bytes").inc(int(nbytes))
+
+    def bytes_sent(self, category: Optional[str] = None) -> int:
+        """Total bytes sent, optionally restricted to one category."""
+        return self._total("sent", "bytes", category)
+
+    def bytes_received(self, category: Optional[str] = None) -> int:
+        """Total bytes received, optionally restricted to one category."""
+        return self._total("recv", "bytes", category)
+
+    def frames_sent(self, category: Optional[str] = None) -> int:
+        """Total frames sent, optionally restricted to one category."""
+        return self._total("sent", "frames", category)
+
+    def _total(self, direction: str, unit: str, category: Optional[str]) -> int:
+        counters = self.metrics.snapshot()["counters"]
+        if category is not None:
+            return int(counters.get(f"{direction}.{category}.{unit}", 0))
+        return sum(
+            v
+            for k, v in counters.items()
+            if k.startswith(f"{direction}.") and k.endswith(f".{unit}")
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot (same schema as serve metrics snapshots)."""
+        return self.metrics.snapshot()
+
+
+def merge_wire_snapshots(snapshots: Iterable[dict]) -> Dict[str, int]:
+    """Sum the counters of several per-rank ledger snapshots.
+
+    Returns a flat ``{counter name: total}`` dict — the whole-job view of
+    traffic (e.g. ``sent.exchange.bytes`` summed over every rank is the
+    job's total sparse-exchange wire volume).
+    """
+    totals: Dict[str, int] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return totals

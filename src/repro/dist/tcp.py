@@ -1,0 +1,309 @@
+"""Full-mesh TCP transport over localhost sockets.
+
+Mesh construction: every rank owns a listening socket (bound by the
+launcher's bootstrap, port chosen by the OS); rank ``r`` *connects* to
+every rank below it and *accepts* from every rank above it, identifying
+inbound connections by their first ``HELLO`` frame.  After bootstrap each
+pair of ranks shares exactly one TCP connection carrying length-prefixed
+:mod:`repro.dist.wire` frames in both directions.
+
+Concurrency: frames may be written by the application thread and the
+heartbeat thread simultaneously, so each peer socket has a write lock and
+frames are written with a single ``sendall`` (frames never interleave).
+:meth:`TcpTransport.exchange` runs its sends on a helper thread while the
+caller drains receives — the all-to-peers exchange can therefore never
+deadlock on full kernel socket buffers, whatever the payload size.
+
+Failure mapping: receive deadline exceeded →
+:class:`~repro.errors.TransportError`; peer EOF without a prior ``BYE``
+→ :class:`~repro.errors.RankFailure` naming the dead rank; EOF mid-frame
+→ :class:`~repro.errors.TransportError` with the truncation offset.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.dist.ledger import CATEGORY_CONTROL, CATEGORY_DATA, WireLedger
+from repro.dist.transport import Transport
+from repro.dist.wire import (
+    HEADER_BYTES,
+    Frame,
+    FrameKind,
+    decode_header,
+    encode_frame,
+)
+from repro.errors import CommunicationError, RankFailure, TransportError
+
+#: Default wall-clock budget for building the full mesh.
+CONNECT_TIMEOUT_S = 20.0
+
+
+def _read_exact(sock: socket.socket, n: int, deadline: float, src: int) -> bytes:
+    """Read exactly ``n`` bytes from ``sock`` before ``deadline``.
+
+    Returns ``b""`` for a clean EOF at a frame boundary (0 bytes read);
+    raises :class:`TransportError` for EOF or deadline mid-read.
+    """
+    chunks: List[bytes] = []
+    got = 0
+    while got < n:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TransportError(
+                f"receive from rank {src} timed out mid-frame "
+                f"(got {got} of {n} bytes)"
+            )
+        sock.settimeout(remaining)
+        try:
+            chunk = sock.recv(n - got)
+        except socket.timeout:
+            raise TransportError(
+                f"receive from rank {src} timed out mid-frame "
+                f"(got {got} of {n} bytes)"
+            ) from None
+        except OSError as exc:
+            raise TransportError(
+                f"socket error receiving from rank {src}: {exc}"
+            ) from exc
+        if not chunk:
+            if got == 0:
+                return b""
+            raise TransportError(
+                f"stream from rank {src} truncated at offset {got} "
+                f"(wanted {n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+class TcpTransport(Transport):
+    """One rank's endpoint of a localhost full-mesh TCP fabric.
+
+    Parameters
+    ----------
+    rank, size:
+        This endpoint's rank and the job size.
+    ports:
+        ``ports[r]`` is rank r's listening port on 127.0.0.1.
+    listener:
+        This rank's already-bound listening socket (from the bootstrap).
+    ledger:
+        Wire accounting; a private ledger is created if omitted.
+    connect_timeout:
+        Wall-clock budget for mesh construction.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        ports: List[int],
+        listener: socket.socket,
+        ledger: Optional[WireLedger] = None,
+        connect_timeout: float = CONNECT_TIMEOUT_S,
+    ):
+        super().__init__(rank, size, ledger)
+        self._peers: Dict[int, socket.socket] = {}
+        self._send_locks: Dict[int, threading.Lock] = {}
+        self._bye_from: Set[int] = set()
+        self._closed = False
+        self._selector = selectors.DefaultSelector()
+        self._build_mesh(ports, listener, connect_timeout)
+
+    # -- bootstrap ----------------------------------------------------------
+    def _build_mesh(
+        self, ports: List[int], listener: socket.socket, connect_timeout: float
+    ) -> None:
+        deadline = time.monotonic() + connect_timeout
+        # Connect down: this rank dials every lower rank's listener.
+        for dst in range(self.rank):
+            sock = self._dial(ports[dst], dst, deadline)
+            hello = Frame(FrameKind.HELLO, self.rank, 0)
+            data = encode_frame(hello)
+            sock.sendall(data)
+            self.ledger.record_send(CATEGORY_CONTROL, len(data))
+            self._register(dst, sock)
+        # Accept up: every higher rank dials us and leads with HELLO.
+        expected = self.size - 1 - self.rank
+        for _ in range(expected):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"rank {self.rank}: mesh bootstrap timed out with "
+                    f"{expected - len([r for r in self._peers if r > self.rank])} "
+                    "peers still unconnected"
+                )
+            listener.settimeout(remaining)
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            frame = self._read_frame_blocking(sock, deadline, src=-1)
+            if frame is None or frame.kind != FrameKind.HELLO:
+                raise TransportError(
+                    f"rank {self.rank}: expected HELLO on inbound "
+                    f"connection, got {frame.kind.name if frame else 'EOF'}"
+                )
+            self.ledger.record_recv(CATEGORY_CONTROL, frame.nbytes)
+            self._register(frame.src, sock)
+        listener.close()
+
+    def _dial(self, port: int, dst: int, deadline: float) -> socket.socket:
+        last_err: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                sock = socket.create_connection(("127.0.0.1", port), timeout=1.0)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError as exc:  # listener may not be accepting yet
+                last_err = exc
+                time.sleep(0.02)
+        raise TransportError(
+            f"rank {self.rank}: could not connect to rank {dst} on port "
+            f"{port}: {last_err}"
+        )
+
+    def _register(self, src: int, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._peers[src] = sock
+        self._send_locks[src] = threading.Lock()
+        self._selector.register(sock, selectors.EVENT_READ, src)
+
+    # -- frame I/O ----------------------------------------------------------
+    def _read_frame_blocking(
+        self, sock: socket.socket, deadline: float, src: int
+    ) -> Optional[Frame]:
+        """Read one frame; ``None`` means clean EOF at a frame boundary."""
+        header = _read_exact(sock, HEADER_BYTES, deadline, src)
+        if not header:
+            return None
+        kind, fsrc, tag, length = decode_header(header)
+        payload = _read_exact(sock, length, deadline, fsrc) if length else b""
+        if length and len(payload) != length:
+            raise TransportError(
+                f"frame from rank {fsrc} truncated at offset "
+                f"{HEADER_BYTES + len(payload)}: header declares {length} "
+                "payload bytes"
+            )
+        return Frame(kind=kind, src=fsrc, tag=tag, payload=payload)
+
+    def send(self, dst: int, frame: Frame, category: str = CATEGORY_DATA) -> None:
+        """Write ``frame`` to ``dst``'s socket (one locked sendall)."""
+        self._check_peer(dst)
+        sock = self._peers.get(dst)
+        if sock is None:
+            raise RankFailure(
+                f"rank {self.rank}: no connection to rank {dst} "
+                "(peer closed or never joined)"
+            )
+        data = encode_frame(frame)
+        try:
+            with self._send_locks[dst]:
+                sock.settimeout(None)
+                sock.sendall(data)
+        except OSError as exc:
+            raise RankFailure(
+                f"rank {self.rank}: send to rank {dst} failed "
+                f"({exc}) — peer likely dead"
+            ) from exc
+        self.ledger.record_send(category, len(data))
+
+    def recv(self, timeout: float, category: str = CATEGORY_DATA) -> Frame:
+        """Return the next frame from any peer (selector-multiplexed)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"rank {self.rank}: receive timed out after {timeout}s "
+                    "(message dropped or peer stalled)"
+                )
+            events = self._selector.select(remaining)
+            if not events:
+                continue
+            key = events[0][0]
+            sock, src = key.fileobj, key.data
+            frame = self._read_frame_blocking(sock, deadline, src)
+            if frame is None:  # EOF at frame boundary
+                self._selector.unregister(sock)
+                sock.close()
+                self._peers.pop(src, None)
+                if src in self._bye_from:
+                    continue  # graceful close; keep waiting for real traffic
+                raise RankFailure(
+                    f"rank {src} closed its connection abruptly (crashed?) "
+                    f"while rank {self.rank} was receiving"
+                )
+            if frame.kind == FrameKind.BYE:
+                self._bye_from.add(frame.src)
+                self.ledger.record_recv(CATEGORY_CONTROL, frame.nbytes)
+                return frame
+            self.ledger.record_recv(category, frame.nbytes)
+            return frame
+
+    def exchange(
+        self,
+        outgoing: Dict[int, Frame],
+        expect: Set[int],
+        timeout: float,
+        category: str = CATEGORY_DATA,
+    ) -> Dict[int, Frame]:
+        """Threaded sends + multiplexed receives; immune to buffer deadlock."""
+        send_error: List[Exception] = []
+
+        def _send_all() -> None:
+            try:
+                for dst, frame in outgoing.items():
+                    self.send(dst, frame, category)
+            except Exception as exc:  # surfaced after the receive loop
+                send_error.append(exc)
+
+        sender = threading.Thread(target=_send_all, daemon=True)
+        sender.start()
+        got: Dict[int, Frame] = {}
+        pending = set(expect)
+        try:
+            while pending:
+                frame = self.recv(timeout, category)
+                if frame.kind == FrameKind.HEARTBEAT:
+                    continue
+                if frame.kind == FrameKind.BYE:
+                    if frame.src in pending:
+                        raise RankFailure(
+                            f"rank {frame.src} said BYE while rank {self.rank} "
+                            "still expected its exchange payload"
+                        )
+                    continue
+                if frame.src in pending:
+                    pending.discard(frame.src)
+                    got[frame.src] = frame
+        finally:
+            sender.join(timeout=timeout)
+        if send_error:
+            raise send_error[0]
+        return got
+
+    def close(self) -> None:
+        """Send ``BYE`` everywhere reachable, then close all sockets."""
+        if self._closed:
+            return
+        self._closed = True
+        for dst in list(self._peers):
+            try:
+                self.send(dst, Frame(FrameKind.BYE, self.rank, 0), CATEGORY_CONTROL)
+            except (TransportError, RankFailure, CommunicationError):
+                pass
+            sock = self._peers.pop(dst, None)
+            if sock is not None:
+                try:
+                    self._selector.unregister(sock)
+                except KeyError:  # pragma: no cover - already unregistered
+                    pass
+                sock.close()
+        self._selector.close()

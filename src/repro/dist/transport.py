@@ -1,0 +1,227 @@
+"""Transport interface + the in-process loopback transport.
+
+A :class:`Transport` moves :class:`~repro.dist.wire.Frame` objects between
+ranks and counts every frame's wire bytes into a
+:class:`~repro.dist.ledger.WireLedger`.  Two implementations ship:
+
+- :class:`LocalTransport` (here) — per-rank in-memory queues inside one
+  process.  Frames still round-trip through the byte codec, so the wire
+  format and byte accounting are exercised exactly as over a socket, but
+  delivery is deterministic and fault injection (dropped messages, killed
+  ranks) is a method call.  Ranks run as threads.
+- :class:`~repro.dist.tcp.TcpTransport` — real localhost sockets, one OS
+  process per rank.
+
+Failure semantics shared by both: a receive that exceeds its timeout
+raises :class:`~repro.errors.TransportError`; end-of-stream from a peer
+that did not first send ``BYE`` raises
+:class:`~repro.errors.RankFailure` naming the dead rank.
+"""
+
+from __future__ import annotations
+
+import abc
+import queue
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dist.ledger import CATEGORY_CONTROL, CATEGORY_DATA, WireLedger
+from repro.dist.wire import Frame, FrameKind, decode_frame, encode_frame
+from repro.errors import CommunicationError, RankFailure, TransportError
+
+
+class Transport(abc.ABC):
+    """Moves frames between ``size`` ranks; counts bytes into a ledger.
+
+    Subclasses implement :meth:`send`, :meth:`recv`, :meth:`exchange`, and
+    :meth:`close`; all of them must record traffic on ``self.ledger``.
+    """
+
+    def __init__(self, rank: int, size: int, ledger: Optional[WireLedger] = None):
+        if size < 1:
+            raise CommunicationError(f"need >= 1 rank, got {size}")
+        if not 0 <= rank < size:
+            raise CommunicationError(f"rank {rank} out of range [0, {size})")
+        self.rank = rank
+        self.size = size
+        self.ledger = ledger if ledger is not None else WireLedger()
+
+    @abc.abstractmethod
+    def send(self, dst: int, frame: Frame, category: str = CATEGORY_DATA) -> None:
+        """Deliver ``frame`` to rank ``dst`` (blocking)."""
+
+    @abc.abstractmethod
+    def recv(self, timeout: float, category: str = CATEGORY_DATA) -> Frame:
+        """Return the next incoming frame from any source.
+
+        Raises :class:`TransportError` after ``timeout`` seconds with no
+        frame, :class:`RankFailure` if a peer's stream ended abruptly.
+        """
+
+    @abc.abstractmethod
+    def exchange(
+        self,
+        outgoing: Dict[int, Frame],
+        expect: Set[int],
+        timeout: float,
+        category: str = CATEGORY_DATA,
+    ) -> Dict[int, Frame]:
+        """Send one frame per entry of ``outgoing`` while receiving one DATA
+        frame from every rank in ``expect`` — deadlock-free even when
+        payloads exceed transport buffering.  Returns ``{src: frame}``.
+        """
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Gracefully tear down (sends ``BYE`` to peers where applicable)."""
+
+    def _check_peer(self, dst: int) -> None:
+        if not 0 <= dst < self.size:
+            raise CommunicationError(f"peer rank {dst} out of range [0, {self.size})")
+        if dst == self.rank:
+            raise CommunicationError(f"rank {self.rank} cannot send to itself")
+
+
+#: Queue sentinel marking abrupt end-of-stream from a rank.
+_EOF = "eof"
+
+
+class LocalFabric:
+    """Shared state of an in-process loopback mesh: one inbox per rank.
+
+    Also the fault-injection surface: :meth:`drop_next` silently discards
+    an in-flight message (the receiver times out), :meth:`kill` simulates
+    a rank crash (peers see abrupt end-of-stream).
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise CommunicationError(f"need >= 1 rank, got {size}")
+        self.size = size
+        self._inboxes: List["queue.Queue[Tuple[str, int, bytes]]"] = [
+            queue.Queue() for _ in range(size)
+        ]
+        self._lock = threading.Lock()
+        self._drops: Dict[Tuple[int, int], int] = {}
+        self._dead: Set[int] = set()
+
+    def endpoint(self, rank: int, ledger: Optional[WireLedger] = None) -> "LocalTransport":
+        """The transport endpoint for one rank of this fabric."""
+        return LocalTransport(rank, self, ledger)
+
+    def drop_next(self, src: int, dst: int, count: int = 1) -> None:
+        """Silently discard the next ``count`` messages from src to dst."""
+        with self._lock:
+            self._drops[(src, dst)] = self._drops.get((src, dst), 0) + count
+
+    def kill(self, rank: int) -> None:
+        """Simulate a crash of ``rank``: peers see abrupt end-of-stream."""
+        if not 0 <= rank < self.size:
+            raise CommunicationError(f"rank {rank} out of range [0, {self.size})")
+        with self._lock:
+            self._dead.add(rank)
+        for peer in range(self.size):
+            if peer != rank:
+                self._inboxes[peer].put((_EOF, rank, b""))
+
+    def _should_drop(self, src: int, dst: int) -> bool:
+        with self._lock:
+            left = self._drops.get((src, dst), 0)
+            if left > 0:
+                self._drops[(src, dst)] = left - 1
+                return True
+            return False
+
+    def _deliver(self, src: int, dst: int, data: bytes) -> None:
+        with self._lock:
+            if src in self._dead:
+                raise RankFailure(f"rank {src} is dead and cannot send")
+        if not self._should_drop(src, dst):
+            self._inboxes[dst].put(("frame", src, data))
+
+
+class LocalTransport(Transport):
+    """Loopback endpoint of a :class:`LocalFabric`.
+
+    Every send encodes the frame to bytes and every receive decodes them,
+    so byte counts and codec behaviour match a socket transport exactly.
+    """
+
+    def __init__(self, rank: int, fabric: LocalFabric, ledger: Optional[WireLedger] = None):
+        super().__init__(rank, fabric.size, ledger)
+        self.fabric = fabric
+        self._bye_from: Set[int] = set()
+        self._closed = False
+
+    def send(self, dst: int, frame: Frame, category: str = CATEGORY_DATA) -> None:
+        """Encode and enqueue ``frame`` on ``dst``'s inbox."""
+        self._check_peer(dst)
+        data = encode_frame(frame)
+        self.fabric._deliver(self.rank, dst, data)
+        self.ledger.record_send(category, len(data))
+
+    def recv(self, timeout: float, category: str = CATEGORY_DATA) -> Frame:
+        """Dequeue, decode, and count the next incoming frame."""
+        try:
+            kind, src, data = self.fabric._inboxes[self.rank].get(timeout=timeout)
+        except queue.Empty:
+            raise TransportError(
+                f"rank {self.rank}: receive timed out after {timeout}s "
+                "(message dropped or peer stalled)"
+            ) from None
+        if kind == _EOF:
+            if src in self._bye_from:
+                # graceful close already seen; keep waiting for real traffic
+                return self.recv(timeout, category)
+            raise RankFailure(
+                f"rank {src} closed its stream abruptly (crashed?) "
+                f"while rank {self.rank} was receiving"
+            )
+        frame = decode_frame(data)
+        if frame.kind == FrameKind.BYE:
+            self._bye_from.add(frame.src)
+            self.ledger.record_recv(CATEGORY_CONTROL, frame.nbytes)
+            return frame
+        self.ledger.record_recv(category, frame.nbytes)
+        return frame
+
+    def exchange(
+        self,
+        outgoing: Dict[int, Frame],
+        expect: Set[int],
+        timeout: float,
+        category: str = CATEGORY_DATA,
+    ) -> Dict[int, Frame]:
+        """Queue-backed exchange: sends never block, then drain receives."""
+        for dst, frame in outgoing.items():
+            self.send(dst, frame, category)
+        got: Dict[int, Frame] = {}
+        pending = set(expect)
+        while pending:
+            frame = self.recv(timeout, category)
+            if frame.kind == FrameKind.HEARTBEAT:
+                continue
+            if frame.kind == FrameKind.BYE:
+                if frame.src in pending:
+                    raise RankFailure(
+                        f"rank {frame.src} said BYE while rank {self.rank} "
+                        "still expected its exchange payload"
+                    )
+                continue
+            if frame.src in pending:
+                pending.discard(frame.src)
+                got[frame.src] = frame
+        return got
+
+    def close(self) -> None:
+        """Send ``BYE`` to every peer (once) and mark the endpoint closed."""
+        if self._closed:
+            return
+        self._closed = True
+        for dst in range(self.size):
+            if dst == self.rank:
+                continue
+            try:
+                self.send(dst, Frame(FrameKind.BYE, self.rank, 0), CATEGORY_CONTROL)
+            except (TransportError, RankFailure):  # pragma: no cover - teardown
+                pass

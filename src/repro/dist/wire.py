@@ -1,0 +1,145 @@
+"""Frame codec: the byte-level message format every transport speaks.
+
+One frame = a fixed 20-byte header followed by the payload::
+
+    offset  size  field
+    0       4     magic  b"LCDF"  (LowComm Dist Frame)
+    4       1     format version (currently 1)
+    5       1     kind   (FrameKind: HELLO / DATA / HEARTBEAT / BYE)
+    6       2     source rank (int16, little-endian)
+    8       4     tag    (int32 — phase/collective discriminator)
+    12      8     payload length (int64)
+    20      ...   payload bytes
+
+The header is deliberately tiny and fixed-size so a receiver can always
+read exactly 20 bytes, validate, then read exactly ``length`` more —
+truncation at any point is detected and reported with the offset reached,
+as a typed :class:`~repro.errors.TransportError` (never a silent short
+read or a bare ``struct.error``).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TransportError
+
+#: Frame magic: b"LCDF" — distinct from the octree payload magic so a
+#: mis-routed byte stream fails fast at either layer.
+FRAME_MAGIC = b"LCDF"
+#: Wire format version carried in every frame header.
+FRAME_VERSION = 1
+
+_HEADER = struct.Struct("<4sBBhiq")
+#: Size of the fixed frame header in bytes.
+HEADER_BYTES = _HEADER.size
+
+#: Hard cap on a single frame's payload (guards against parsing garbage
+#: lengths into multi-gigabyte reads).
+MAX_PAYLOAD_BYTES = 1 << 32
+
+
+class FrameKind(enum.IntEnum):
+    """Frame types understood by every transport."""
+
+    HELLO = 1  #: connection handshake, identifies the source rank
+    DATA = 2  #: application payload (collectives, point-to-point)
+    HEARTBEAT = 3  #: liveness beacon, consumed by the receive pump
+    BYE = 4  #: graceful close — EOF after BYE is not a failure
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire message."""
+
+    kind: FrameKind
+    src: int
+    tag: int
+    payload: bytes = b""
+
+    @property
+    def nbytes(self) -> int:
+        """Actual bytes this frame occupies on the wire (header + payload)."""
+        return HEADER_BYTES + len(self.payload)
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame to its wire bytes."""
+    if not -(1 << 15) <= frame.src < (1 << 15):
+        raise TransportError(f"source rank {frame.src} does not fit int16")
+    return (
+        _HEADER.pack(
+            FRAME_MAGIC,
+            FRAME_VERSION,
+            int(frame.kind),
+            frame.src,
+            frame.tag,
+            len(frame.payload),
+        )
+        + frame.payload
+    )
+
+
+def decode_header(header: bytes) -> tuple:
+    """Validate and unpack a frame header; returns ``(kind, src, tag, length)``.
+
+    Raises :class:`~repro.errors.TransportError` on short input, bad magic,
+    unsupported version, unknown kind, or an implausible payload length —
+    always naming the offending offset/field.
+    """
+    if len(header) < HEADER_BYTES:
+        raise TransportError(
+            f"truncated frame header: got {len(header)} of {HEADER_BYTES} bytes"
+        )
+    magic, version, kind, src, tag, length = _HEADER.unpack(header[:HEADER_BYTES])
+    if magic != FRAME_MAGIC:
+        raise TransportError(
+            f"bad frame magic {magic!r} at offset 0 (expected {FRAME_MAGIC!r})"
+        )
+    if version != FRAME_VERSION:
+        raise TransportError(
+            f"unsupported frame version {version} at offset 4 "
+            f"(expected {FRAME_VERSION})"
+        )
+    try:
+        kind = FrameKind(kind)
+    except ValueError:
+        raise TransportError(f"unknown frame kind {kind} at offset 5") from None
+    if not 0 <= length <= MAX_PAYLOAD_BYTES:
+        raise TransportError(
+            f"implausible payload length {length} at offset 12 "
+            f"(cap {MAX_PAYLOAD_BYTES})"
+        )
+    return kind, src, tag, length
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one complete frame from ``data`` (must be exactly one frame)."""
+    kind, src, tag, length = decode_header(data)
+    payload = data[HEADER_BYTES:]
+    if len(payload) != length:
+        raise TransportError(
+            f"frame payload truncated at offset {HEADER_BYTES + len(payload)}: "
+            f"header declares {length} payload bytes, got {len(payload)}"
+        )
+    return Frame(kind=kind, src=src, tag=tag, payload=payload)
+
+
+def read_frame(read_exact: Callable[[int], bytes]) -> Frame:
+    """Read one frame via ``read_exact(n) -> bytes`` (a stream reader).
+
+    ``read_exact`` must either return exactly ``n`` bytes or raise; this
+    function adds the frame-level offset context to any truncation.
+    """
+    header = read_exact(HEADER_BYTES)
+    kind, src, tag, length = decode_header(header)
+    payload = read_exact(length) if length else b""
+    if len(payload) != length:
+        raise TransportError(
+            f"frame payload truncated at offset {HEADER_BYTES + len(payload)}: "
+            f"header declares {length} payload bytes"
+        )
+    return Frame(kind=kind, src=src, tag=tag, payload=payload)

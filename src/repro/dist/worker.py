@@ -1,0 +1,275 @@
+"""What one rank executes: the SPMD body of the low-comm pipeline.
+
+:func:`rank_main` is the same for every rank and for both transports:
+
+1. rank 0 broadcasts the kernel spectrum and the input field;
+2. the rank convolves its round-robin share of sub-domains locally with
+   the warm pruned-plan path (zero communication — the paper's claim);
+3. the compressed results are packed into a
+   :mod:`repro.core.checkpoint` blob, posted to the driver (this is the
+   fault-tolerance state), and shipped to every peer in ONE
+   ``sparse_allgather`` — the single sparse exchange of Eq 6;
+4. the rank reconstructs the accumulated result restricted to its *own*
+   sub-domain boxes.
+
+Accumulation order is deterministic (compressed fields sorted by
+sub-domain index, exactly the order ``run_serial`` uses), so the blocks a
+rank returns — and the grid the driver assembles from them — are bitwise
+identical to :meth:`~repro.core.pipeline.LowCommConvolution3D.run_serial`.
+
+Fault injection lives here too: :class:`DistConfig` can name a rank and a
+pipeline stage at which that rank calls its ``abort`` hook (process exit
+for TCP, fabric kill for the loopback transport), which is how the
+recovery path is tested end to end.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.checkpoint import checkpoint_from_bytes, checkpoint_to_bytes
+from repro.core.pipeline import LowCommConvolution3D
+from repro.dist.collectives import (
+    TAG_EXCHANGE,
+    TAG_FIELD,
+    TAG_SPECTRUM,
+    Communicator,
+)
+from repro.dist.ledger import CATEGORY_EXCHANGE
+from repro.errors import ConfigurationError
+from repro.octree.compress import CompressedField
+from repro.octree.interpolate import reconstruct_box
+from repro.serve.loadgen import parse_policy
+
+#: Stages at which an injected failure can trigger (see ``DistConfig``).
+FAIL_STAGES = ("before_checkpoint", "before_exchange", "mid_exchange")
+
+
+@dataclass(frozen=True)
+class DistConfig:
+    """Everything a rank needs to run its share of the pipeline.
+
+    Frozen and built from plain values only, so it crosses process
+    boundaries trivially.  ``fail_rank`` / ``fail_stage`` inject a crash
+    of one rank at a chosen pipeline stage (testing only).
+    """
+
+    n: int = 32
+    k: int = 8
+    sigma: float = 2.0
+    policy: str = "banded"
+    interpolation: str = "linear"
+    precision: str = "float64"
+    batch: Optional[int] = None
+    real_kernel: Optional[bool] = None
+    num_ranks: int = 2
+    transport: str = "local"
+    seed: int = 0
+    recv_timeout_s: float = 30.0
+    heartbeat_s: Optional[float] = None
+    fail_rank: Optional[int] = None
+    fail_stage: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ConfigurationError(f"need >= 1 rank, got {self.num_ranks}")
+        if self.transport not in ("local", "tcp"):
+            raise ConfigurationError(
+                f"transport must be 'local' or 'tcp', got {self.transport!r}"
+            )
+        if self.precision not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"precision must be 'float64' or 'float32', got {self.precision!r}"
+            )
+        if self.fail_stage is not None and self.fail_stage not in FAIL_STAGES:
+            raise ConfigurationError(
+                f"fail_stage must be one of {FAIL_STAGES}, got {self.fail_stage!r}"
+            )
+        if self.fail_rank is not None and not 0 <= self.fail_rank < self.num_ranks:
+            raise ConfigurationError(
+                f"fail_rank {self.fail_rank} out of range [0, {self.num_ranks})"
+            )
+
+
+@dataclass
+class RankResult:
+    """One rank's contribution, returned to the driver."""
+
+    rank: int
+    #: accumulated dense ``k^3`` blocks for this rank's sub-domains
+    blocks: Dict[int, np.ndarray]
+    #: sub-domains this rank actually convolved (zero chunks skipped)
+    num_chunks: int
+    total_samples: int
+    compressed_bytes: int
+    #: serialized checkpoint blob size — the per-peer exchange payload
+    exchange_payload_bytes: int
+    compute_s: float
+    exchange_s: float
+    #: this rank's :class:`~repro.dist.ledger.WireLedger` snapshot
+    wire: dict = dataclass_field(default_factory=dict)
+
+
+def composite_field(n: int, seed: int = 0) -> np.ndarray:
+    """The CLI's composite-like input: noise in the central half-cube."""
+    rng = np.random.default_rng(seed)
+    field = np.zeros((n, n, n))
+    q = n // 4
+    field[q : n - q, q : n - q, q : n - q] = rng.standard_normal((n - 2 * q,) * 3)
+    return field
+
+
+def array_to_bytes(arr: np.ndarray) -> bytes:
+    """Serialize an array (dtype + shape preserved, no pickle)."""
+    buf = io.BytesIO()
+    np.save(buf, np.ascontiguousarray(arr), allow_pickle=False)
+    return buf.getvalue()
+
+
+def array_from_bytes(data: bytes) -> np.ndarray:
+    """Inverse of :func:`array_to_bytes`."""
+    return np.load(io.BytesIO(data), allow_pickle=False)
+
+
+def build_pipeline(config: DistConfig, spectrum: np.ndarray) -> LowCommConvolution3D:
+    """The pipeline object every rank (and the driver) constructs."""
+    return LowCommConvolution3D(
+        config.n,
+        config.k,
+        spectrum,
+        policy=parse_policy(config.policy),
+        batch=config.batch,
+        interpolation=config.interpolation,
+        real_kernel=config.real_kernel,
+    )
+
+
+def _maybe_fail(
+    config: DistConfig, rank: int, stage: str, abort: Optional[Callable[[], None]]
+) -> None:
+    if config.fail_rank == rank and config.fail_stage == stage:
+        if abort is None:
+            raise ConfigurationError(
+                "failure injection requested but the runtime supplied no "
+                "abort hook"
+            )
+        abort()
+
+
+def rank_main(
+    comm: Communicator,
+    config: DistConfig,
+    field: Optional[np.ndarray] = None,
+    spectrum: Optional[np.ndarray] = None,
+    post: Optional[Callable[[str, int, bytes], None]] = None,
+    abort: Optional[Callable[[], None]] = None,
+) -> RankResult:
+    """Run one rank of the SPMD job; returns the rank's result.
+
+    Parameters
+    ----------
+    comm:
+        The rank's communicator.
+    config:
+        Job parameters (identical on every rank).
+    field, spectrum:
+        Supplied on rank 0 only; other ranks receive them by broadcast.
+    post:
+        Driver-side mailbox: ``post(kind, rank, payload)``.  The rank
+        posts its checkpoint blob here before the exchange, which is the
+        state the driver recovers from if a rank dies.
+    abort:
+        Crash hook for fault injection (never called unless this rank is
+        ``config.fail_rank``).
+    """
+    rank, size = comm.rank, comm.size
+    if rank == 0:
+        if field is None or spectrum is None:
+            raise ConfigurationError("rank 0 must be given the field and spectrum")
+        spectrum = np.asarray(spectrum)
+        field = np.asarray(field, dtype=np.float64)
+        comm.broadcast(array_to_bytes(spectrum), root=0, tag=TAG_SPECTRUM)
+        comm.broadcast(array_to_bytes(field), root=0, tag=TAG_FIELD)
+    else:
+        spectrum = array_from_bytes(comm.broadcast(None, root=0, tag=TAG_SPECTRUM))
+        field = array_from_bytes(comm.broadcast(None, root=0, tag=TAG_FIELD))
+
+    pipeline = build_pipeline(config, spectrum)
+
+    # Phase 1: zero-communication local convolutions of this rank's share.
+    t0 = time.perf_counter()
+    own: List[Tuple[object, CompressedField]] = []
+    for sub in pipeline.decomposition:
+        if sub.index % size != rank:
+            continue
+        block = pipeline.decomposition.extract(field, sub)
+        if not np.any(block):
+            continue  # implicit sparsity, exactly as run_serial
+        own.append(
+            (
+                sub,
+                pipeline.local.convolve(
+                    block, sub.corner, pattern=pipeline._pattern(sub.corner)
+                ),
+            )
+        )
+    compute_s = time.perf_counter() - t0
+
+    _maybe_fail(config, rank, "before_checkpoint", abort)
+
+    # Phase 2: checkpoint, then the ONE sparse exchange.
+    blob = checkpoint_to_bytes(own, precision=config.precision)
+    if post is not None:
+        post("checkpoint", rank, blob)
+
+    _maybe_fail(config, rank, "before_exchange", abort)
+    if config.fail_rank == rank and config.fail_stage == "mid_exchange":
+        # die half-way through the exchange: lower-ranked peers receive
+        # the payload, higher-ranked ones see an abrupt end-of-stream.
+        for dst in range(rank):
+            comm.send_payload(dst, blob, TAG_EXCHANGE, category=CATEGORY_EXCHANGE)
+        _maybe_fail(config, rank, "mid_exchange", abort)
+
+    t1 = time.perf_counter()
+    blobs = comm.sparse_allgather(blob, tag=TAG_EXCHANGE)
+    exchange_s = time.perf_counter() - t1
+
+    # Phase 3: accumulate over this rank's own sub-domain boxes, fields
+    # in sub-domain index order (the run_serial order — bitwise identity).
+    merged: Dict[int, CompressedField] = {}
+    for payload in blobs:
+        if payload:
+            merged.update(checkpoint_from_bytes(payload))
+    ordered = [merged[i] for i in sorted(merged)]
+    kk = config.k
+    blocks: Dict[int, np.ndarray] = {}
+    for sub in pipeline.decomposition:
+        if sub.index % size != rank:
+            continue
+        acc = np.zeros((kk, kk, kk), dtype=np.float64)
+        for compressed in ordered:
+            reconstruct_box(
+                compressed,
+                sub.corner,
+                (kk, kk, kk),
+                method=config.interpolation,
+                out=acc,
+            )
+        blocks[sub.index] = acc
+
+    return RankResult(
+        rank=rank,
+        blocks=blocks,
+        num_chunks=len(own),
+        total_samples=sum(f.pattern.sample_count for _s, f in own),
+        compressed_bytes=sum(f.nbytes for _s, f in own),
+        exchange_payload_bytes=len(blob),
+        compute_s=compute_s,
+        exchange_s=exchange_s,
+        wire=comm.transport.ledger.snapshot(),
+    )

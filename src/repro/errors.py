@@ -47,7 +47,17 @@ class CommunicationError(ReproError):
 
 
 class RankFailure(CommunicationError):
-    """A simulated rank died mid-collective (failure-injection testing)."""
+    """A rank died mid-collective (crash detected, or injected in tests)."""
+
+
+class TransportError(CommunicationError):
+    """A wire-level transport failure: timeout, truncated frame, bad magic.
+
+    Distinct from :class:`RankFailure` — a transport error means the
+    *channel* misbehaved (message lost, stream corrupted, deadline blown)
+    while the peer may well be alive; a rank failure means the peer is
+    gone.  Recovery strategies differ, so the types do too.
+    """
 
 
 class ConvergenceError(ReproError):

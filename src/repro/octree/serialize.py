@@ -16,6 +16,8 @@ decode the octree" remark is about).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -27,6 +29,7 @@ from repro.octree.sampling import SamplingPattern
 _MAGIC = 0x4C433344
 _VERSION = 2
 _HEADER_FIELDS = 9  # magic, version, n, k, cx, cy, cz, num_cells, precision
+_LEGACY_HEADER_FIELDS = 6  # n, k, cx, cy, cz, num_cells (pre-magic format)
 
 #: precision codes carried in the header
 _PRECISION_CODES = {"float64": 0, "float32": 1}
@@ -70,34 +73,18 @@ def serialize_compressed(
     )
 
 
-def deserialize_compressed(payload: bytes) -> CompressedField:
-    """Decode the wire representation back into a :class:`CompressedField`.
-
-    Validates the magic number, version, counts, and total length, and
-    re-checks the octree cumulative-count invariant during decoding.
-    """
-    header_bytes = _HEADER_FIELDS * 8
-    if len(payload) < header_bytes:
-        raise ConfigurationError(
-            f"payload of {len(payload)} bytes shorter than the header"
-        )
-    header = np.frombuffer(payload[:header_bytes], dtype=np.int64)
-    magic, version, n, k, cx, cy, cz, num_cells, prec_code = (
-        int(v) for v in header
-    )
-    if magic != _MAGIC:
-        raise ConfigurationError(f"bad magic 0x{magic:08X}")
-    if version != _VERSION:
-        raise ConfigurationError(f"unsupported format version {version}")
-    if num_cells < 0 or n <= 0:
-        raise ConfigurationError("corrupt header (negative counts)")
-    if prec_code not in _PRECISION_DTYPES:
-        raise ConfigurationError(f"unknown precision code {prec_code}")
-    value_dtype = _PRECISION_DTYPES[prec_code]
-
+def _decode_body(
+    payload: bytes,
+    offset: int,
+    n: int,
+    k: int,
+    corner: tuple,
+    num_cells: int,
+    value_dtype,
+) -> CompressedField:
+    """Shared body decoder: metadata + sizes + values starting at ``offset``."""
     meta_bytes = num_cells * METADATA_INTS_PER_CELL * 4
     sizes_bytes = num_cells * 4
-    offset = header_bytes
     # Explicit length check: frombuffer on a short slice would silently
     # yield fewer ints and misparse the octree rather than fail.
     if len(payload) < offset + meta_bytes + sizes_bytes:
@@ -115,7 +102,7 @@ def deserialize_compressed(payload: bytes) -> CompressedField:
     pattern = SamplingPattern(
         n=n,
         cells=cells,
-        subdomain_corner=(cx, cy, cz),
+        subdomain_corner=corner,
         subdomain_size=k,
     )
     expected_values = pattern.sample_count
@@ -128,9 +115,123 @@ def deserialize_compressed(payload: bytes) -> CompressedField:
     values = np.frombuffer(payload[offset:], dtype=value_dtype)
     if values.size != expected_values:
         raise ConfigurationError(
-            f"payload carries {values.size} values, pattern requires "
-            f"{expected_values}"
+            f"payload carries {values.size} values at offset {offset}, "
+            f"pattern requires {expected_values}"
         )
-    return CompressedField(
-        pattern=pattern, values=values.astype(np.float64)
+    return CompressedField(pattern=pattern, values=values.astype(np.float64))
+
+
+def _deserialize_legacy(payload: bytes) -> CompressedField:
+    """Decode the pre-magic headerless format (6 x int64, float64 values).
+
+    Early serializations led directly with the geometry fields and carried
+    no magic, version, or precision code.  The geometry is strictly
+    validated, so garbage bytes are rejected rather than misparsed.
+    """
+    header_bytes = _LEGACY_HEADER_FIELDS * 8
+    if len(payload) < header_bytes:
+        raise ConfigurationError(
+            f"payload of {len(payload)} bytes is shorter than the "
+            f"{header_bytes}-byte legacy header"
+        )
+    n, k, cx, cy, cz, num_cells = (
+        int(v) for v in np.frombuffer(payload[:header_bytes], dtype=np.int64)
+    )
+    if not 0 < n <= (1 << 20):
+        raise ConfigurationError(f"implausible grid size {n} at offset 0")
+    if not 0 < k <= n:
+        raise ConfigurationError(f"implausible sub-domain size {k} at offset 8")
+    for field_idx, c in enumerate((cx, cy, cz)):
+        if not 0 <= c < n:
+            raise ConfigurationError(
+                f"corner coordinate {c} at offset {16 + 8 * field_idx} "
+                f"outside grid of size {n}"
+            )
+    if not 0 <= num_cells <= n**3:
+        raise ConfigurationError(
+            f"implausible cell count {num_cells} at offset 40"
+        )
+    try:
+        return _decode_body(
+            payload, header_bytes, n, k, (cx, cy, cz), num_cells, np.float64
+        )
+    except ConfigurationError:
+        raise
+    except Exception as exc:  # decode_metadata etc. on garbage bytes
+        raise ConfigurationError(
+            f"undecodable legacy payload body at offset {header_bytes}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def deserialize_compressed(payload: bytes) -> CompressedField:
+    """Decode the wire representation back into a :class:`CompressedField`.
+
+    Validates the magic number, version, counts, and total length, and
+    re-checks the octree cumulative-count invariant during decoding.
+    Legacy headerless payloads (pre-magic format) are still accepted, with
+    a :class:`DeprecationWarning`; anything else that fails validation
+    raises :class:`~repro.errors.ConfigurationError` naming the byte
+    offset of the first problem.
+    """
+    header_bytes = _HEADER_FIELDS * 8
+    if len(payload) < header_bytes:
+        # Too short for a v2 header — it may still be a tiny legacy record.
+        try:
+            field = _deserialize_legacy(payload)
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"payload of {len(payload)} bytes shorter than the "
+                f"{header_bytes}-byte header and not a legacy record"
+            ) from None
+        _warn_legacy()
+        return field
+    header = np.frombuffer(payload[:header_bytes], dtype=np.int64)
+    magic, version, n, k, cx, cy, cz, num_cells, prec_code = (
+        int(v) for v in header
+    )
+    if magic != _MAGIC:
+        # No magic: either the legacy headerless format or garbage.
+        try:
+            field = _deserialize_legacy(payload)
+        except ConfigurationError as legacy_exc:
+            raise ConfigurationError(
+                f"bad magic 0x{magic & 0xFFFFFFFFFFFFFFFF:016X} at offset 0 "
+                f"(expected 0x{_MAGIC:08X}) and payload does not decode as a "
+                f"legacy headerless record ({legacy_exc})"
+            ) from None
+        _warn_legacy()
+        return field
+    if version != _VERSION:
+        raise ConfigurationError(
+            f"unsupported format version {version} at offset 8 "
+            f"(expected {_VERSION})"
+        )
+    if num_cells < 0 or n <= 0:
+        raise ConfigurationError(
+            f"corrupt header: n={n} (offset 16), num_cells={num_cells} "
+            "(offset 56)"
+        )
+    if prec_code not in _PRECISION_DTYPES:
+        raise ConfigurationError(
+            f"unknown precision code {prec_code} at offset 64"
+        )
+    return _decode_body(
+        payload,
+        header_bytes,
+        n,
+        k,
+        (cx, cy, cz),
+        num_cells,
+        _PRECISION_DTYPES[prec_code],
+    )
+
+
+def _warn_legacy() -> None:
+    warnings.warn(
+        "decoded a legacy headerless compressed-field payload; "
+        "re-serialize with serialize_compressed() to add the magic/version "
+        "header",
+        DeprecationWarning,
+        stacklevel=3,
     )

@@ -54,6 +54,23 @@ def parse_policy(spec: str) -> SamplingPolicy:
     )
 
 
+def policy_spec(policy: SamplingPolicy) -> str:
+    """Inverse of :func:`parse_policy`: the spec string for a policy.
+
+    Only policies expressible as a spec can cross process boundaries (the
+    distributed runtime ships configs, not objects); anything customized
+    beyond ``banded`` defaults or a flat rate is rejected.
+    """
+    if policy.flat is not None:
+        return f"flat:{policy.flat}"
+    if policy == SamplingPolicy():
+        return "banded"
+    raise ConfigurationError(
+        "policy is not expressible as a spec string ('banded' or 'flat:R'); "
+        "customized banded rates cannot be shipped to distributed ranks"
+    )
+
+
 @dataclass
 class LoadSpec:
     """A reproducible synthetic request stream.

@@ -29,6 +29,18 @@ DEFAULT_LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
 #: Default size buckets (requests per batch, queue depths, ...).
 DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
+#: Default byte-size buckets (wire frames, payloads): 64 B .. 64 MiB.
+DEFAULT_BYTE_BUCKETS = (
+    64.0,
+    1024.0,
+    16384.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+    67108864.0,
+)
+
 
 class Counter:
     """Monotonically increasing count (completions, rejections, ...)."""

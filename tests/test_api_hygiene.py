@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.fftx",
     "repro.serve",
+    "repro.dist",
     "repro.analysis",
 ]
 

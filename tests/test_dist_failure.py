@@ -1,0 +1,112 @@
+"""Fault injection at the runtime level: ranks die, the answer doesn't.
+
+``DistConfig.fail_rank`` / ``fail_stage`` make one rank call its abort
+hook (``os._exit`` under TCP, a fabric kill on the loopback transport) at
+a chosen pipeline stage.  Whatever the stage, ``dist_run`` must detect
+the death, fall back to the checkpoint blobs the ranks posted, recompute
+what is missing, and still produce output bitwise identical to
+``run_serial``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.launcher import default_spectrum, dist_run
+from repro.dist.worker import (
+    FAIL_STAGES,
+    DistConfig,
+    build_pipeline,
+    composite_field,
+)
+
+SMALL = dict(n=16, k=4, sigma=2.0, policy="flat:2")
+
+
+def _serial_reference(config):
+    field = composite_field(config.n, config.seed)
+    spectrum = default_spectrum(config)
+    serial = build_pipeline(config, spectrum).run_serial(field)
+    return field, spectrum, serial
+
+
+def _assert_recovers_bitwise(config):
+    field, spectrum, serial = _serial_reference(config)
+    report = dist_run(config, field=field, spectrum=spectrum)
+    assert config.fail_rank in report.failed_ranks
+    assert report.recovered
+    assert np.array_equal(report.approx, serial.approx)
+    return report
+
+
+class TestLocalRecovery:
+    @pytest.mark.parametrize("stage", FAIL_STAGES)
+    def test_stage_crash_recovers_bitwise(self, stage):
+        config = DistConfig(
+            num_ranks=3,
+            transport="local",
+            fail_rank=1,
+            fail_stage=stage,
+            **SMALL,
+        )
+        _assert_recovers_bitwise(config)
+
+    def test_rank0_crash_recovers(self):
+        # rank 0 is special (it broadcasts the inputs) but dies *after*
+        # the broadcast stages, so recovery still works
+        config = DistConfig(
+            num_ranks=3,
+            transport="local",
+            fail_rank=0,
+            fail_stage="before_exchange",
+            **SMALL,
+        )
+        _assert_recovers_bitwise(config)
+
+    def test_before_checkpoint_loses_that_ranks_state(self):
+        """Dying before posting the checkpoint means the driver must
+        *recompute* the dead rank's sub-domains, not just restore them."""
+        config = DistConfig(
+            num_ranks=2,
+            transport="local",
+            fail_rank=1,
+            fail_stage="before_checkpoint",
+            **SMALL,
+        )
+        report = _assert_recovers_bitwise(config)
+        # the dead rank never reported a result
+        assert 1 not in report.rank_results
+
+
+class TestTcpRecovery:
+    @pytest.mark.parametrize("stage", ["before_exchange", "mid_exchange"])
+    def test_process_death_recovers_bitwise(self, stage):
+        config = DistConfig(
+            num_ranks=3,
+            transport="tcp",
+            fail_rank=1,
+            fail_stage=stage,
+            **SMALL,
+        )
+        _assert_recovers_bitwise(config)
+
+
+class TestHeartbeatedRun:
+    def test_clean_run_with_heartbeats_is_bitwise(self):
+        """Beacon traffic must not leak into the exchange accounting or
+        perturb the result."""
+        config = DistConfig(
+            num_ranks=2, transport="local", heartbeat_s=0.05, **SMALL
+        )
+        field, spectrum, serial = _serial_reference(config)
+        report = dist_run(config, field=field, spectrum=spectrum)
+        assert np.array_equal(report.approx, serial.approx)
+        assert not report.recovered
+        # heartbeats are control traffic, not exchange traffic
+        p = config.num_ranks
+        from repro.dist.wire import HEADER_BYTES
+
+        expected = sum(
+            (p - 1) * (HEADER_BYTES + r.exchange_payload_bytes)
+            for r in report.rank_results.values()
+        )
+        assert report.exchange_wire_bytes == expected

@@ -107,6 +107,79 @@ class TestSerialization:
         assert back.pattern.cells == cf.pattern.cells
 
 
+def _legacy_payload(cf):
+    """Hand-build the pre-magic headerless wire format."""
+    pat = cf.pattern
+    header = np.array(
+        [
+            pat.n,
+            pat.subdomain_size,
+            pat.subdomain_corner[0],
+            pat.subdomain_corner[1],
+            pat.subdomain_corner[2],
+            pat.num_cells,
+        ],
+        dtype=np.int64,
+    )
+    return b"".join(
+        [
+            header.tobytes(),
+            pat.metadata().astype(np.int32).tobytes(),
+            pat.cell_sizes().astype(np.int32).tobytes(),
+            np.ascontiguousarray(cf.values, dtype=np.float64).tobytes(),
+        ]
+    )
+
+
+class TestLegacyFormat:
+    def test_legacy_payload_accepted_with_warning(self, compressed_field):
+        payload = _legacy_payload(compressed_field)
+        with pytest.warns(DeprecationWarning, match="legacy headerless"):
+            back = deserialize_compressed(payload)
+        np.testing.assert_array_equal(back.values, compressed_field.values)
+        assert back.pattern.cells == compressed_field.pattern.cells
+        assert back.pattern.subdomain_corner == (4, 8, 0)
+
+    def test_reserialized_legacy_has_header(self, compressed_field):
+        with pytest.warns(DeprecationWarning):
+            back = deserialize_compressed(_legacy_payload(compressed_field))
+        fresh = serialize_compressed(back)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no DeprecationWarning expected
+            again = deserialize_compressed(fresh)
+        np.testing.assert_array_equal(again.values, compressed_field.values)
+
+    def test_garbage_rejected_with_offset_context(self):
+        garbage = bytes(range(256)) * 3
+        with pytest.raises(ConfigurationError, match="offset 0"):
+            deserialize_compressed(garbage)
+
+    def test_implausible_legacy_geometry_rejected(self, compressed_field):
+        payload = bytearray(_legacy_payload(compressed_field))
+        payload[8:16] = np.int64(999).tobytes()  # k = 999 > n = 16
+        with pytest.raises(ConfigurationError, match="offset 8"):
+            deserialize_compressed(bytes(payload))
+
+    def test_legacy_corner_out_of_grid(self, compressed_field):
+        payload = bytearray(_legacy_payload(compressed_field))
+        payload[16:24] = np.int64(-3).tobytes()  # cx < 0
+        with pytest.raises(ConfigurationError, match="offset 16"):
+            deserialize_compressed(bytes(payload))
+
+    def test_version_mismatch_names_offset(self, compressed_field):
+        payload = bytearray(serialize_compressed(compressed_field))
+        payload[8:16] = np.int64(99).tobytes()  # version field
+        with pytest.raises(ConfigurationError, match="version 99 at offset 8"):
+            deserialize_compressed(bytes(payload))
+
+    def test_truncated_legacy_body_rejected(self, compressed_field):
+        payload = _legacy_payload(compressed_field)
+        with pytest.raises(ConfigurationError):
+            deserialize_compressed(payload[: 6 * 8 + 4])
+
+
 class TestErrorBounds:
     def test_trilinear_bound_formula(self):
         assert trilinear_cell_bound(2.0, 0.5) == pytest.approx(0.375 * 4 * 0.5)
