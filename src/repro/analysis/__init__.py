@@ -1,4 +1,13 @@
-"""Experiment drivers, table rendering, and paper-vs-measured reports."""
+"""Experiment drivers, reports, and the project lint/concurrency tooling.
+
+Two halves share this package: the paper-facing analysis (experiment
+drivers, table rendering, paper-vs-measured reports) re-exported below,
+and the code-facing analysis — the ``python -m repro lint`` engine
+(:mod:`repro.analysis.engine`, rules in :mod:`repro.analysis.rules`)
+plus the runtime lock watcher (:mod:`repro.analysis.lockwatch`), which
+are imported explicitly by the CLI and the concurrency tests rather
+than re-exported here (linting should not import numpy-heavy drivers).
+"""
 
 from repro.analysis.tables import format_table
 from repro.analysis.report import ComparisonRow, ExperimentReport

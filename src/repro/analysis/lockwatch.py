@@ -1,0 +1,460 @@
+"""Runtime lock-order and blocking-call watcher (dynamic LCK001/LCK002).
+
+The static rules in :mod:`repro.analysis.rules.locks` see only lexically
+nested acquisitions; real inversions in the serving and transport layers
+happen *across call boundaries* — thread A acquires the batch queue lock
+inside a method that calls into metrics, thread B does the opposite.
+This module catches those at runtime:
+
+- :func:`lockwatch` is a context manager that monkeypatches
+  ``threading.Lock``/``threading.RLock`` so every lock created inside the
+  block is an instrumented wrapper labelled by its creation site, and
+  (optionally) wraps ``time.sleep``, blocking socket methods, and
+  ``queue.Queue.get/put`` to spot blocking calls made while a lock is
+  held;
+- each thread's acquisitions maintain a per-thread held stack; acquiring
+  lock B while holding lock A records a directed edge ``A -> B`` in a
+  process-wide lock-acquisition graph, together with a witness (thread
+  name, trimmed stack);
+- :meth:`LockWatcher.report` condenses the run into a
+  :class:`LockWatchReport`: cycles in the dynamic graph (potential ABBA
+  deadlocks that *actually happened* order-wise), blocking-under-lock
+  events, and a human-readable :meth:`~LockWatchReport.witness` dump;
+- :meth:`LockWatchReport.check` raises
+  :class:`~repro.errors.ConcurrencyViolation` carrying the report, which
+  is how the stress tests in ``tests/test_concurrency_stress.py`` assert
+  a clean run.
+
+Locks whose creation-site source line names an I/O-serialization lock
+(identifier matching ``send``/``write``/``io``, e.g. the per-peer
+``_send_locks`` in the TCP transport) are exempt from blocking-call
+checks, mirroring the static LCK002 exemption.  Everything here is
+opt-in and test-oriented: production code never imports this module.
+"""
+
+from __future__ import annotations
+
+import linecache
+import re
+import socket
+import sys
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.rules.base import IO_LOCK_RE
+from repro.analysis.rules.locks import _strongly_connected
+from repro.errors import ConcurrencyViolation, ConfigurationError
+
+__all__ = [
+    "BlockingEvent",
+    "InstrumentedLock",
+    "InstrumentedRLock",
+    "LockEdge",
+    "LockWatchReport",
+    "LockWatcher",
+    "lockwatch",
+]
+
+# Real factories, captured at import time so the watcher's own internals
+# (and wrappers created while patched) never instrument themselves.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: Identifier on the creation-site source line used as the lock's name
+#: hint (e.g. ``self._send_locks[src] = threading.Lock()`` -> ``_send_locks``).
+_NAME_HINT_RE = re.compile(
+    r"(?:[A-Za-z_][A-Za-z0-9_]*\.)*([A-Za-z_][A-Za-z0-9_]*)"
+    r"\s*(?:\[[^\]]*\])?\s*[:=][^=]"
+)
+
+#: How many stack frames a witness keeps (outermost trimmed first).
+_STACK_LIMIT = 12
+
+
+def _thread_identity() -> Tuple[int, str]:
+    """(ident, name) for the running thread, with no registry side effects.
+
+    ``threading.current_thread()`` materializes a ``_DummyThread`` (whose
+    ``Event`` would itself be instrumented — infinite recursion) when
+    called during thread bootstrap, before the thread registers itself;
+    read the registry passively instead.
+    """
+    ident = threading.get_ident()
+    thread = threading._active.get(ident)
+    return ident, thread.name if thread is not None else f"thread-{ident}"
+
+
+def _creation_site() -> Tuple[str, str, bool]:
+    """(label, name hint, io_exempt) for the frame that created a lock.
+
+    Walks out of this module to the first caller frame; the label is
+    ``basename:lineno`` and the hint is the assigned identifier on that
+    source line (when one exists), which also decides the I/O exemption.
+    """
+    frame = sys._getframe(1)
+    here = __file__
+    while frame is not None and frame.f_code.co_filename == here:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - only if called at module top
+        return "<unknown>", "", False
+    filename = frame.f_code.co_filename
+    lineno = frame.f_lineno
+    label = f"{Path(filename).name}:{lineno}"
+    line = linecache.getline(filename, lineno).strip()
+    match = _NAME_HINT_RE.match(line)
+    hint = match.group(1) if match else ""
+    if hint:
+        label = f"{hint}@{label}"
+    io_exempt = bool(IO_LOCK_RE.search(hint))
+    return label, hint, io_exempt
+
+
+def _trimmed_stack() -> List[str]:
+    """Short ``file:line in func`` lines for the current call stack."""
+    frames = traceback.extract_stack(limit=_STACK_LIMIT + 4)
+    out = []
+    for fr in frames:
+        if fr.filename == __file__:
+            continue
+        out.append(f"{Path(fr.filename).name}:{fr.lineno} in {fr.name}")
+    return out[-_STACK_LIMIT:]
+
+
+@dataclass
+class LockEdge:
+    """One observed ``src -> dst`` acquisition ordering, with witness."""
+
+    src: str
+    dst: str
+    thread: str
+    stack: List[str] = dataclass_field(default_factory=list)
+    count: int = 1
+
+
+@dataclass
+class BlockingEvent:
+    """A blocking call made while holding at least one non-I/O lock."""
+
+    desc: str
+    thread: str
+    held: List[str] = dataclass_field(default_factory=list)
+    stack: List[str] = dataclass_field(default_factory=list)
+
+
+@dataclass
+class LockWatchReport:
+    """Condensed outcome of one :func:`lockwatch` run."""
+
+    edges: List[LockEdge] = dataclass_field(default_factory=list)
+    cycles: List[List[str]] = dataclass_field(default_factory=list)
+    blocking: List[BlockingEvent] = dataclass_field(default_factory=list)
+    locks_created: int = 0
+    threads_seen: List[str] = dataclass_field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no cycles and no blocking-under-lock events."""
+        return not self.cycles and not self.blocking
+
+    def witness(self) -> str:
+        """Human-readable dump: threads, edge list, cycles, blocking calls."""
+        lines = [
+            f"lockwatch: {self.locks_created} lock(s) created, "
+            f"{len(self.edges)} ordering edge(s), "
+            f"{len(self.threads_seen)} thread(s)",
+            f"threads: {', '.join(self.threads_seen) or '(none)'}",
+        ]
+        for edge in self.edges:
+            lines.append(
+                f"edge {edge.src} -> {edge.dst} "
+                f"[thread {edge.thread}, seen {edge.count}x]"
+            )
+            for entry in edge.stack:
+                lines.append(f"    at {entry}")
+        for cycle in self.cycles:
+            lines.append(
+                "CYCLE: " + " -> ".join(cycle + [cycle[0]])
+                + "  (threads acquired these locks in conflicting orders)"
+            )
+        for ev in self.blocking:
+            lines.append(
+                f"BLOCKING: {ev.desc} in thread {ev.thread} "
+                f"while holding {ev.held}"
+            )
+            for entry in ev.stack:
+                lines.append(f"    at {entry}")
+        return "\n".join(lines)
+
+    def check(self) -> None:
+        """Raise :class:`ConcurrencyViolation` unless the run was clean."""
+        if self.clean:
+            return
+        problems = []
+        if self.cycles:
+            problems.append(f"{len(self.cycles)} lock-order cycle(s)")
+        if self.blocking:
+            problems.append(f"{len(self.blocking)} blocking call(s) under a lock")
+        raise ConcurrencyViolation(
+            "lockwatch detected " + " and ".join(problems) + ":\n"
+            + self.witness(),
+            report=self,
+        )
+
+
+class LockWatcher:
+    """Process-wide recorder behind :func:`lockwatch`.
+
+    Tracks per-thread held-lock stacks and accumulates the dynamic
+    acquisition-order graph.  All bookkeeping runs under a *real*
+    (uninstrumented) lock and is O(held locks) per acquisition, so
+    instrumented runs stay fast enough for stress tests.
+    """
+
+    def __init__(self):
+        self._mu = _REAL_LOCK()
+        self._held: Dict[int, List["InstrumentedLock"]] = {}
+        self._edges: Dict[Tuple[str, str], LockEdge] = {}
+        self._blocking: List[BlockingEvent] = []
+        self._threads: Set[str] = set()
+        self.locks_created = 0
+
+    # -- instrumented-lock callbacks ---------------------------------------
+    def note_created(self) -> None:
+        """Count one instrumented lock construction."""
+        with self._mu:
+            self.locks_created += 1
+
+    def note_acquire(self, lock: "InstrumentedLock") -> None:
+        """Record a successful acquisition by the current thread."""
+        ident, name = _thread_identity()
+        stack: Optional[List[str]] = None
+        with self._mu:
+            held = self._held.setdefault(ident, [])
+            self._threads.add(name)
+            reentrant = any(h is lock for h in held)
+            if not reentrant:
+                for h in held:
+                    if h.label == lock.label:
+                        continue
+                    key = (h.label, lock.label)
+                    edge = self._edges.get(key)
+                    if edge is not None:
+                        edge.count += 1
+                    else:
+                        if stack is None:
+                            stack = _trimmed_stack()
+                        self._edges[key] = LockEdge(
+                            src=h.label,
+                            dst=lock.label,
+                            thread=name,
+                            stack=stack,
+                        )
+            held.append(lock)
+
+    def note_release(self, lock: "InstrumentedLock") -> None:
+        """Record a release (pops the innermost matching acquisition)."""
+        ident, _ = _thread_identity()
+        with self._mu:
+            held = self._held.get(ident)
+            if held:
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i] is lock:
+                        del held[i]
+                        break
+
+    def note_blocking(self, desc: str) -> None:
+        """Record ``desc`` if the current thread holds a non-I/O lock."""
+        ident, name = _thread_identity()
+        with self._mu:
+            held = self._held.get(ident) or []
+            exposed = sorted({h.label for h in held if not h.io_exempt})
+        if exposed:
+            event = BlockingEvent(
+                desc=desc,
+                thread=name,
+                held=exposed,
+                stack=_trimmed_stack(),
+            )
+            with self._mu:
+                self._blocking.append(event)
+
+    # -- reporting ----------------------------------------------------------
+    def report(self) -> LockWatchReport:
+        """Snapshot the run into a :class:`LockWatchReport` (cycles computed)."""
+        with self._mu:
+            edges = [
+                LockEdge(e.src, e.dst, e.thread, list(e.stack), e.count)
+                for e in self._edges.values()
+            ]
+            blocking = [
+                BlockingEvent(b.desc, b.thread, list(b.held), list(b.stack))
+                for b in self._blocking
+            ]
+            threads = sorted(self._threads)
+            created = self.locks_created
+        nodes = {n for e in edges for n in (e.src, e.dst)}
+        sccs = _strongly_connected(nodes, {(e.src, e.dst) for e in edges})
+        cycles = [sorted(comp) for comp in sccs]
+        edges.sort(key=lambda e: (e.src, e.dst))
+        return LockWatchReport(
+            edges=edges,
+            cycles=sorted(cycles),
+            blocking=blocking,
+            locks_created=created,
+            threads_seen=threads,
+        )
+
+
+class InstrumentedLock:
+    """Drop-in ``threading.Lock`` wrapper that reports to a watcher."""
+
+    _factory = staticmethod(_REAL_LOCK)
+
+    def __init__(self, watcher: LockWatcher):
+        self._inner = self._factory()
+        self._watcher = watcher
+        self.label, self.name_hint, self.io_exempt = _creation_site()
+        watcher.note_created()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the underlying lock; record the acquisition on success."""
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._watcher.note_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        """Release the underlying lock and pop it from the held stack."""
+        self._watcher.note_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Mirror ``threading.Lock.locked``."""
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.label} inner={self._inner!r}>"
+
+
+class InstrumentedRLock(InstrumentedLock):
+    """Drop-in ``threading.RLock`` wrapper (Condition-compatible).
+
+    Defines the private ``Condition`` protocol (``_is_owned`` /
+    ``_release_save`` / ``_acquire_restore``) by delegating to the real
+    RLock, keeping the watcher's held stack balanced across
+    ``Condition.wait`` — which fully releases the lock and re-acquires it
+    on wakeup.
+    """
+
+    _factory = staticmethod(_REAL_RLOCK)
+
+    def _is_owned(self) -> bool:
+        """True when the calling thread owns the lock (Condition protocol)."""
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        """Fully release for ``Condition.wait``; held stack popped once."""
+        self._watcher.note_release(self)
+        return self._inner._release_save()
+
+    def _acquire_restore(self, state) -> None:
+        """Re-acquire after ``Condition.wait``; held stack pushed once."""
+        self._inner._acquire_restore(state)
+        self._watcher.note_acquire(self)
+
+
+_ACTIVE: List[LockWatcher] = []
+
+
+@contextmanager
+def lockwatch(watch_blocking: bool = True) -> Iterator[LockWatcher]:
+    """Instrument lock creation (and optionally blocking calls) in a block.
+
+    While active, ``threading.Lock``/``threading.RLock`` return
+    instrumented wrappers labelled by creation site; with
+    ``watch_blocking`` also wraps ``time.sleep``, blocking socket methods
+    (``recv``/``recv_into``/``accept``/``connect``/``sendall``), and
+    ``queue.Queue.get/put`` to record calls made while a non-I/O lock is
+    held.  Yields the :class:`LockWatcher`; call
+    :meth:`LockWatcher.report` (typically after the block) and
+    :meth:`LockWatchReport.check` to assert a clean run.
+
+    Not reentrant — nesting raises
+    :class:`~repro.errors.ConfigurationError`.  Locks created *before*
+    the block are invisible; build the system under test inside it.
+    """
+    if _ACTIVE:
+        raise ConfigurationError("lockwatch() does not nest")
+    watcher = LockWatcher()
+    _ACTIVE.append(watcher)
+
+    def make_lock():
+        return InstrumentedLock(watcher)
+
+    def make_rlock():
+        return InstrumentedRLock(watcher)
+
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+
+    patched: List[Tuple[object, str, object, bool]] = []
+
+    def _patch(owner, name, wrapper):
+        had_own = name in vars(owner)
+        original = vars(owner).get(name)
+        patched.append((owner, name, original, had_own))
+        setattr(owner, name, wrapper)
+
+    if watch_blocking:
+        import queue as queue_mod
+
+        real_sleep = time.sleep
+
+        def sleep(seconds):
+            watcher.note_blocking(f"time.sleep({seconds})")
+            return real_sleep(seconds)
+
+        _patch(time, "sleep", sleep)
+
+        for meth in ("recv", "recv_into", "accept", "connect", "sendall"):
+            real = getattr(socket.socket, meth)
+
+            def wrapper(sock, *args, _real=real, _name=meth, **kwargs):
+                watcher.note_blocking(f"socket.{_name}()")
+                return _real(sock, *args, **kwargs)
+
+            _patch(socket.socket, meth, wrapper)
+
+        for meth in ("get", "put"):
+            real = getattr(queue_mod.Queue, meth)
+
+            def qwrapper(q, *args, _real=real, _name=meth, **kwargs):
+                blocking = kwargs.get("block", args[0] if args else True)
+                if blocking:
+                    watcher.note_blocking(f"Queue.{_name}()")
+                return _real(q, *args, **kwargs)
+
+            _patch(queue_mod.Queue, meth, qwrapper)
+
+    try:
+        yield watcher
+    finally:
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        for owner, name, original, had_own in reversed(patched):
+            if had_own:
+                setattr(owner, name, original)
+            else:
+                delattr(owner, name)
+        _ACTIVE.pop()

@@ -1,0 +1,72 @@
+"""Rule registry for the repro lint framework.
+
+Seven codebase-specific rules generic linters cannot express:
+
+========  ==============================================================
+LCK001    static lock-acquisition ordering graph must be acyclic
+LCK002    no blocking syscalls while holding a (non-I/O) lock
+EXC001    broad ``except`` on transport/rank paths keeps failures typed
+CLK001    serving layer reads time only through the injectable Clock
+WIRE001   wire-format constants are defined once, imported elsewhere
+API001    public names and ``__all__`` stay in sync
+NDA001    docstring dtype/shape contracts match the returned value
+========  ==============================================================
+
+:func:`default_rules` is what the engine instantiates when none are
+given; :func:`rule_by_id` resolves a single rule class for targeted
+runs and fixture tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.rules.api import ExportHygieneRule
+from repro.analysis.rules.base import Rule, ScopeVisitor
+from repro.analysis.rules.clock import InjectableClockRule
+from repro.analysis.rules.exceptions import BroadExceptRule
+from repro.analysis.rules.locks import LockHeldBlockingRule, LockOrderRule
+from repro.analysis.rules.numpy_contracts import NumpyContractRule
+from repro.analysis.rules.wire import WireConstantRule
+
+__all__ = [
+    "Rule",
+    "ScopeVisitor",
+    "LockOrderRule",
+    "LockHeldBlockingRule",
+    "BroadExceptRule",
+    "InjectableClockRule",
+    "WireConstantRule",
+    "ExportHygieneRule",
+    "NumpyContractRule",
+    "default_rules",
+    "rule_by_id",
+]
+
+_ALL_RULES: List[Type[Rule]] = [
+    LockOrderRule,
+    LockHeldBlockingRule,
+    BroadExceptRule,
+    InjectableClockRule,
+    WireConstantRule,
+    ExportHygieneRule,
+    NumpyContractRule,
+]
+
+
+def default_rules() -> List[Type[Rule]]:
+    """The full registered rule set, in reporting order."""
+    return list(_ALL_RULES)
+
+
+def rule_by_id(rule_id: str) -> Type[Rule]:
+    """Resolve one rule class by its id (e.g. ``"LCK001"``)."""
+    for rule_cls in _ALL_RULES:
+        if rule_cls.rule_id == rule_id:
+            return rule_cls
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown lint rule {rule_id!r}; known: "
+        f"{[r.rule_id for r in _ALL_RULES]}"
+    )

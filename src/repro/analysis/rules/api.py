@@ -1,0 +1,137 @@
+"""API001: public names and ``__all__`` must agree.
+
+The package-level contract (everything importable from
+``repro.<pkg>``) is declared by ``__all__``; the ad-hoc
+``test_api_hygiene`` check only verified that listed names *resolve*.
+This rule closes the other half statically:
+
+- a module that declares ``__all__`` must list every public top-level
+  ``def``/``class`` it defines — otherwise a symbol is silently public
+  by accident (reachable, undocumented, unpledged);
+- a package ``__init__.py`` must additionally list every public name it
+  *re-exports* via ``from x import y`` or binds by simple assignment
+  (re-exporting without pledging is how API surfaces drift), and must
+  declare ``__all__`` at all if it binds any public name;
+- every entry in ``__all__`` must be bound somewhere at module top
+  level — a stale entry is a guaranteed ``AttributeError`` for
+  ``from pkg import *`` users.
+
+Plain ``import x`` statements and underscore-prefixed names are always
+exempt; non-``__init__`` modules without ``__all__`` are out of scope
+(their namespace is internal by convention).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules.base import Rule
+
+
+def _all_entries(tree: ast.Module) -> Optional[Set[str]]:
+    """Names listed in a top-level ``__all__`` literal, or None if absent."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            return {
+                e.value
+                for e in value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            }
+        return set()  # dynamic __all__: present but unknowable statically
+    return None
+
+
+class ExportHygieneRule(Rule):
+    """API001: ``__all__`` is complete and every entry resolves."""
+
+    rule_id = "API001"
+    description = "public surface and __all__ stay in sync"
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Check one module's public bindings against its ``__all__``."""
+        is_init = ctx.parts[-1] == "__init__.py"
+        declared = _all_entries(ctx.tree)
+        findings: List[Finding] = []
+
+        defined: dict = {}  # name -> node (public defs/classes)
+        reexported: dict = {}  # name -> node (__init__ only concerns)
+        bound: Set[str] = set()  # everything bound at top level
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+                if not node.name.startswith("_"):
+                    defined[node.name] = node
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if name == "*":
+                        continue
+                    bound.add(name)
+                    # typing/__future__ imports are plumbing, not re-exports
+                    if not name.startswith("_") and node.module not in (
+                        "__future__",
+                        "typing",
+                    ):
+                        reexported[name] = node
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        bound.add(t.id)
+                        if not t.id.startswith("_") and t.id != "__all__":
+                            reexported[t.id] = node
+
+        if declared is None:
+            if is_init and (defined or reexported):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                        "package __init__ binds public names but declares "
+                        "no __all__ — pledge the public surface explicitly",
+                    )
+                )
+            return findings
+
+        missing = dict(defined)
+        if is_init:
+            missing.update(reexported)
+        for name in sorted(missing):
+            if name not in declared:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        missing[name],
+                        f"public name '{name}' is defined here but missing "
+                        "from __all__ — add it or prefix with '_'",
+                    )
+                )
+        for name in sorted(declared - bound):
+            findings.append(
+                self.finding(
+                    ctx,
+                    ctx.tree,
+                    f"__all__ lists '{name}' but nothing at module top "
+                    "level binds it — 'from pkg import *' would fail",
+                )
+            )
+        return findings

@@ -1,0 +1,180 @@
+"""Shared rule machinery: the Rule interface and scope-aware AST walking.
+
+Every concrete rule subclasses :class:`Rule` and implements
+:meth:`Rule.check_file`; rules that need whole-project state (the static
+lock-order graph, wire-constant homes) accumulate it across
+``check_file`` calls and emit from :meth:`Rule.finalize`.
+
+:class:`ScopeVisitor` is the common AST walker: it tracks the qualified
+name of the enclosing class/function (``Server.pump.<locals>.helper``
+style, without the ``<locals>`` noise) so findings and lock identities
+can be attributed to a stable scope, and it exposes the lock-tracking
+helpers both lock rules share:
+
+- :func:`lock_expr_id` turns a ``with``-statement context expression (or
+  an ``.acquire()`` receiver) into a stable lock identity string —
+  ``self._lock`` inside ``class TcpTransport`` becomes
+  ``TcpTransport._lock``; a subscripted map like ``self._send_locks[dst]``
+  becomes ``TcpTransport._send_locks[]``; a bare local is qualified by
+  its function.
+- :func:`is_lock_name` is the shared name heuristic (identifier contains
+  ``lock`` or ``mutex``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from repro.analysis.engine import FileContext, Finding
+
+#: Identifier heuristic for "this object is a lock".
+_LOCK_NAME_RE = re.compile(r"lock|mutex", re.IGNORECASE)
+
+#: Locks that exist to serialize an I/O operation (write/send locks) are
+#: expected to be held across the blocking call they guard; LCK002 and the
+#: runtime lockwatch both exempt them.
+IO_LOCK_RE = re.compile(r"send|write|io", re.IGNORECASE)
+
+
+def is_lock_name(name: str) -> bool:
+    """True when an identifier looks like a lock by naming convention."""
+    return bool(_LOCK_NAME_RE.search(name))
+
+
+def _expr_tail(node: ast.expr) -> Optional[str]:
+    """Last identifier component of a Name/Attribute/Subscript chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        tail = _expr_tail(node.value)
+        return f"{tail}[]" if tail else None
+    if isinstance(node, ast.Call):
+        return _expr_tail(node.func)
+    return None
+
+
+class Rule:
+    """Interface every lint rule implements."""
+
+    rule_id: str = "RULE000"
+    description: str = ""
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Findings for one file (may also accumulate project state)."""
+        return []
+
+    def finalize(self) -> List[Finding]:
+        """Findings requiring the whole project (runs after all files)."""
+        return []
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in ``ctx``."""
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+            severity=severity,
+        )
+
+
+class ScopeVisitor(ast.NodeVisitor):
+    """AST visitor tracking class/function nesting for qualified names."""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self._class_stack: List[str] = []
+        self._func_stack: List[str] = []
+        #: names bound at module top level — a bare lock name that is a
+        #: module global is the *same* lock from every function in the file
+        self._module_names = {
+            t.id
+            for node in ctx.tree.body
+            if isinstance(node, (ast.Assign, ast.AnnAssign))
+            for t in (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if isinstance(t, ast.Name)
+        }
+
+    # -- scope bookkeeping --------------------------------------------------
+    @property
+    def current_class(self) -> Optional[str]:
+        """Innermost enclosing class name, or None at module level."""
+        return self._class_stack[-1] if self._class_stack else None
+
+    @property
+    def qualname(self) -> str:
+        """Dotted path of the current scope (module-relative)."""
+        return ".".join(self._class_stack + self._func_stack) or "<module>"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Track class scope while visiting the class body."""
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Track function scope while visiting the function body."""
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Track async-function scope while visiting the body."""
+        self._visit_function(node)
+
+    # -- lock identification ------------------------------------------------
+    def lock_expr_id(self, node: ast.expr) -> Optional[str]:
+        """Stable identity for a lock expression, or None if not a lock.
+
+        ``self.X`` attributes are qualified by the enclosing class (the
+        same attribute reached from any method is the same lock);
+        subscripted lock maps collapse to ``name[]``; bare names bound at
+        module top level are qualified by the module (the same global
+        from every function); other bare locals are qualified by their
+        function so they never unify across scopes.
+        """
+        target = node
+        if isinstance(target, ast.Call):  # e.g. with self._lock_for(x)
+            target = target.func
+        tail = _expr_tail(target)
+        if tail is None or not is_lock_name(tail):
+            return None
+        if isinstance(target, ast.Subscript):
+            inner = target.value
+        else:
+            inner = target
+        if isinstance(inner, ast.Attribute) and isinstance(
+            inner.value, ast.Name
+        ) and inner.value.id in ("self", "cls"):
+            owner = self.current_class or Path_stem(self.ctx.relpath)
+            return f"{owner}.{tail}"
+        if isinstance(inner, ast.Attribute):
+            base = _expr_tail(inner.value)
+            return f"{base}.{tail}" if base else tail
+        stem = Path_stem(self.ctx.relpath)
+        bare = tail[:-2] if tail.endswith("[]") else tail
+        if bare in self._module_names:
+            return f"{stem}.{tail}"
+        return f"{stem}.{self.qualname}.{tail}"
+
+
+def Path_stem(relpath: str) -> str:
+    """Module-ish stem of a display path (``src/a/b.py`` -> ``b``)."""
+    name = relpath.rsplit("/", 1)[-1]
+    return name[:-3] if name.endswith(".py") else name

@@ -1,0 +1,73 @@
+"""CLK001: direct wall-clock reads inside the serving layer.
+
+Everything in :mod:`repro.serve` is specified to read time through the
+injectable :class:`repro.serve.clock.Clock` so scheduler flushes,
+deadlines, and retry backoffs are testable with a
+:class:`~repro.serve.clock.ManualClock` and zero real sleeps.  One stray
+``time.monotonic()`` re-introduces wall-clock nondeterminism into a path
+the tests believe is virtual — the kind of drift that only shows up as a
+flaky deadline test months later.
+
+This rule flags every call to ``time.time`` / ``time.monotonic`` /
+``time.sleep`` / ``time.perf_counter`` (module-qualified or imported
+bare) in any file under a ``serve/`` directory, except
+``serve/clock.py`` itself — the one sanctioned adapter between the
+:class:`Clock` interface and the real clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules.base import Rule
+
+#: ``time`` module functions the serving layer must not call directly.
+_CLOCK_FUNCS = frozenset({"time", "monotonic", "sleep", "perf_counter"})
+
+
+class InjectableClockRule(Rule):
+    """CLK001: serve/ code must use the injectable Clock, not ``time.*``."""
+
+    rule_id = "CLK001"
+    description = "serving layer reads time only through serve.clock"
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Flag direct wall-clock calls in serve/ modules."""
+        if "serve" not in ctx.parts or ctx.parts[-1] == "clock.py":
+            return []
+        imported_bare = {
+            alias.asname or alias.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "time"
+            for alias in node.names
+            if alias.name in _CLOCK_FUNCS
+        }
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in _CLOCK_FUNCS
+            ):
+                name = f"time.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in imported_bare:
+                name = func.id
+            if name is not None:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"direct {name}() in the serving layer — inject a "
+                        "repro.serve.clock.Clock and call clock.now() / "
+                        "clock.sleep() so the path stays deterministic "
+                        "under ManualClock",
+                    )
+                )
+        return findings

@@ -1,0 +1,93 @@
+"""EXC001: broad exception handlers on transport/rank paths.
+
+The distributed runtime's error taxonomy is load-bearing: a
+:class:`~repro.errors.TransportError` (channel misbehaved, peer may be
+alive) and a :class:`~repro.errors.RankFailure` (peer is gone) trigger
+*different* recovery strategies, and a ``except Exception:`` that
+swallows either collapses them into silence.  On any file under a
+``dist/`` directory this rule flags bare ``except:``,
+``except Exception:`` and ``except BaseException:`` handlers unless one
+of the sanctioned shapes applies:
+
+- the handler **re-raises or wraps** — it contains a ``raise`` statement
+  (typically ``raise TransportError(...) from exc``), so the failure
+  stays typed; or
+- the handler carries the approved structured tag
+  ``# repro-lint: broad-except-ok(<reason>)`` on the ``except`` line —
+  reserved for true driver boundaries that convert *any* rank failure
+  into a recorded outcome.  The tag is part of the protocol (it names a
+  reason), not a suppression; ``# repro-lint: disable=EXC001`` also
+  works but fails the "no new suppressions" review bar.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules.base import Rule
+
+#: Approved structured tag for deliberate catch-all driver boundaries.
+BROAD_EXCEPT_TAG_RE = re.compile(
+    r"#\s*repro-lint:\s*broad-except-ok\(([^)]+)\)"
+)
+
+#: Directory component that marks a transport/rank path.
+_SCOPE_DIRS = frozenset({"dist"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception``, ``except BaseException``."""
+    t = handler.type
+    if t is None:
+        return True
+    names = []
+    if isinstance(t, ast.Name):
+        names = [t.id]
+    elif isinstance(t, ast.Tuple):
+        names = [e.id for e in t.elts if isinstance(e, ast.Name)]
+    return any(n in ("Exception", "BaseException") for n in names)
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains any ``raise`` statement."""
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+class BroadExceptRule(Rule):
+    """EXC001: broad ``except`` on a dist/ path must re-raise, wrap, or tag."""
+
+    rule_id = "EXC001"
+    description = "transport/rank paths must keep failures typed"
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Flag untyped catch-alls in transport/rank modules."""
+        if not any(part in _SCOPE_DIRS for part in ctx.parts):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or not _is_broad(node):
+                continue
+            if _reraises(node):
+                continue
+            line_text = (
+                ctx.lines[node.lineno - 1]
+                if 0 < node.lineno <= len(ctx.lines)
+                else ""
+            )
+            if BROAD_EXCEPT_TAG_RE.search(line_text):
+                continue
+            what = "bare except" if node.type is None else "broad except"
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"{what} on a transport/rank path neither re-raises nor "
+                    "wraps into TransportError/RankFailure — narrow the "
+                    "exception types, or mark a deliberate driver boundary "
+                    "with '# repro-lint: broad-except-ok(reason)'",
+                )
+            )
+        return findings

@@ -1,0 +1,286 @@
+"""Lock discipline rules: LCK001 (lock ordering) and LCK002 (blocking I/O).
+
+Both rules walk functions with a *held-lock stack*: entering
+``with <lock>:`` pushes the lock's identity (see
+:meth:`~repro.analysis.rules.base.ScopeVisitor.lock_expr_id`) for the
+duration of the body, and an explicit ``.acquire()`` call pushes until
+the matching ``.release()`` or the end of the enclosing function.
+
+**LCK001 — lock-acquisition ordering.**  Every nested acquisition site
+contributes a directed edge ``held -> acquired`` to a single
+project-wide lock-order graph (accumulated across all linted files).
+After the last file, strongly connected components of that graph expose
+ordering cycles — the static signature of an ABBA deadlock — and every
+edge site inside a cycle is reported with the full cycle spelled out.
+
+**LCK002 — blocking call under a lock.**  Calls with blocking semantics
+(``time.sleep``, socket ``recv``/``accept``/``sendall``/``connect``,
+blocking ``Queue.get/put``, ``subprocess.*``, thread ``join``, event
+``wait``) made while a lock is held serialize unrelated work behind I/O
+latency and are one lock away from a deadlock.  Locks whose *purpose* is
+to serialize an I/O channel (name matches ``send``/``write``/``io``,
+e.g. a per-socket write lock) are exempt — the blocking call is exactly
+what they guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules.base import (
+    IO_LOCK_RE,
+    Rule,
+    ScopeVisitor,
+    _expr_tail,
+)
+
+#: Receiver-name hints for blocking ``.get``/``.put`` (queues, not dicts).
+_QUEUE_HINT = ("queue", "inbox", "mailbox")
+#: Receiver-name hints for blocking ``.join`` (threads/processes).
+_JOIN_HINT = ("thread", "proc", "process", "worker", "sender")
+#: Receiver-name hints for blocking ``.wait`` (events/conditions/barriers).
+_WAIT_HINT = ("event", "stop", "cond", "barrier", "done", "ready")
+#: Attribute names that block regardless of receiver (socket/pipe I/O).
+_ALWAYS_BLOCKING_ATTRS = frozenset(
+    {"recv", "recv_into", "recvfrom", "accept", "sendall", "connect", "select"}
+)
+#: Receiver-name hints for blocking ``.send`` (sockets and pipes only —
+#: transport/communicator ``send`` methods are application-level).
+_SEND_HINT = ("sock", "conn", "pipe")
+
+
+def blocking_call_desc(node: ast.Call) -> Optional[str]:
+    """Describe ``node`` if it has blocking semantics, else ``None``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return "sleep()" if func.id == "sleep" else None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    base = (_expr_tail(func.value) or "").lower()
+    if base == "time" and attr == "sleep":
+        return "time.sleep()"
+    if base == "subprocess":
+        return f"subprocess.{attr}()"
+    if attr in _ALWAYS_BLOCKING_ATTRS:
+        return f".{attr}()"
+    if attr == "send" and any(h in base for h in _SEND_HINT):
+        return f"{base}.send()"
+    if attr in ("get", "put") and any(h in base for h in _QUEUE_HINT):
+        return f"{base}.{attr}()"
+    if attr == "join" and any(h in base for h in _JOIN_HINT):
+        return f"{base}.join()"
+    if attr == "wait" and any(h in base for h in _WAIT_HINT):
+        return f"{base}.wait()"
+    return None
+
+
+class _LockWalker(ScopeVisitor):
+    """Walks one file maintaining the held-lock stack; fires two hooks.
+
+    ``on_edge(held_id, new_id, node)`` — a nested acquisition;
+    ``on_blocking(desc, held_ids, node)`` — a blocking call under >= 1
+    held lock (exempt I/O-serialization locks already filtered out).
+    """
+
+    def __init__(
+        self,
+        ctx: FileContext,
+        on_edge: Optional[Callable[[str, str, ast.AST], None]] = None,
+        on_blocking: Optional[Callable[[str, List[str], ast.AST], None]] = None,
+    ):
+        super().__init__(ctx)
+        self._on_edge = on_edge
+        self._on_blocking = on_blocking
+        self._held: List[str] = []
+
+    # -- acquisition tracking ----------------------------------------------
+    def _push(self, lock_id: str, node: ast.AST) -> None:
+        if self._on_edge is not None:
+            for held in self._held:
+                if held != lock_id:
+                    self._on_edge(held, lock_id, node)
+        self._held.append(lock_id)
+
+    def visit_With(self, node: ast.With) -> None:
+        """Push ``with <lock>`` items for the duration of the body."""
+        pushed = 0
+        for item in node.items:
+            lock_id = self.lock_expr_id(item.context_expr)
+            if lock_id is not None:
+                self._push(lock_id, item.context_expr)
+                pushed += 1
+            else:
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        if pushed:
+            del self._held[len(self._held) - pushed :]
+
+    def _visit_function(self, node) -> None:
+        # acquire() without release() must not leak across function scopes
+        saved, self._held = self._held, []
+        super()._visit_function(node)
+        self._held = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Track acquire/release calls and flag blocking calls under locks."""
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "acquire",
+            "release",
+        ):
+            lock_id = self.lock_expr_id(func.value)
+            if lock_id is not None:
+                if func.attr == "acquire":
+                    self._push(lock_id, node)
+                elif lock_id in self._held:
+                    self._held.reverse()
+                    self._held.remove(lock_id)
+                    self._held.reverse()
+                self.generic_visit(node)
+                return
+        if self._held and self._on_blocking is not None:
+            desc = blocking_call_desc(node)
+            if desc is not None:
+                exposed = [
+                    h for h in self._held if not IO_LOCK_RE.search(h)
+                ]
+                if exposed:
+                    self._on_blocking(desc, exposed, node)
+        self.generic_visit(node)
+
+
+def _strongly_connected(
+    nodes: Set[str], edges: Set[Tuple[str, str]]
+) -> List[Set[str]]:
+    """Tarjan SCC (iterative); returns components with more than one node."""
+    adj: Dict[str, List[str]] = {n: [] for n in nodes}
+    for a, b in edges:
+        adj[a].append(b)
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, edge_i = work[-1]
+            if edge_i == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbours = adj[node]
+            while edge_i < len(neighbours):
+                nxt = neighbours[edge_i]
+                edge_i += 1
+                if nxt not in index:
+                    work[-1] = (node, edge_i)
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                comp: Set[str] = set()
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    comp.add(top)
+                    if top == node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(comp)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+class LockOrderRule(Rule):
+    """LCK001: cycles in the project-wide static lock-acquisition graph."""
+
+    rule_id = "LCK001"
+    description = "lock-acquisition ordering must be globally acyclic"
+
+    def __init__(self):
+        #: (held, acquired) -> acquisition sites (path, line, col)
+        self._edges: Dict[Tuple[str, str], List[Tuple[str, int, int]]] = {}
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Accumulate nested-acquisition edges from one file."""
+
+        def on_edge(held: str, new: str, node: ast.AST) -> None:
+            site = (
+                ctx.relpath,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+            )
+            self._edges.setdefault((held, new), []).append(site)
+
+        _LockWalker(ctx, on_edge=on_edge).visit(ctx.tree)
+        return []
+
+    def finalize(self) -> List[Finding]:
+        """Report every acquisition site whose edge lies on an order cycle."""
+        nodes = {n for edge in self._edges for n in edge}
+        sccs = _strongly_connected(nodes, set(self._edges))
+        findings: List[Finding] = []
+        for comp in sccs:
+            cycle = " -> ".join(sorted(comp) + [min(comp)])
+            for (held, new), sites in sorted(self._edges.items()):
+                if held in comp and new in comp:
+                    for path, line, col in sites:
+                        findings.append(
+                            Finding(
+                                path=path,
+                                line=line,
+                                col=col,
+                                rule_id=self.rule_id,
+                                message=(
+                                    f"lock-order inversion: acquiring "
+                                    f"'{new}' while holding '{held}' joins "
+                                    f"the cycle [{cycle}] — a concurrent "
+                                    "reverse acquisition can deadlock"
+                                ),
+                            )
+                        )
+        return findings
+
+
+class LockHeldBlockingRule(Rule):
+    """LCK002: blocking calls made while holding a non-I/O lock."""
+
+    rule_id = "LCK002"
+    description = "no blocking syscalls inside lock-guarded critical sections"
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Flag blocking calls lexically inside non-exempt critical sections."""
+        findings: List[Finding] = []
+
+        def on_blocking(desc: str, held: List[str], node: ast.AST) -> None:
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"blocking call {desc} while holding lock "
+                    f"'{held[-1]}' — move the I/O outside the critical "
+                    "section (or guard it with a dedicated *send/write/io* "
+                    "lock if serializing this I/O is the lock's purpose)",
+                )
+            )
+
+        _LockWalker(ctx, on_blocking=on_blocking).visit(ctx.tree)
+        return findings

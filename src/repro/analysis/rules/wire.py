@@ -1,0 +1,166 @@
+"""WIRE001: wire-format constants duplicated outside their home module.
+
+The byte-level protocols each have exactly one home: the frame codec in
+``dist/wire.py`` (magic ``b"LCDF"``, the 20-byte header format) and the
+octree payload format in ``octree/serialize.py`` (magic ``0x4C433344``).
+A struct format string or magic literal re-typed anywhere else is a
+protocol fork waiting to happen — the copy keeps "working" until the
+canonical module rolls its version and the copy silently parses the old
+layout.  Code outside the home module must import the named constant
+(``FRAME_MAGIC``, ``HEADER_BYTES``...) instead.
+
+Detection is two-phase.  While files are scanned, every *canonical*
+file (basename ``wire.py`` or ``serialize.py``) contributes its
+constants: bytes literals (length >= 2), struct format strings passed to
+``struct.Struct/pack/unpack/unpack_from/calcsize``, and integer
+literals assigned to ``*MAGIC*`` names.  A built-in seed of the known
+repro constants is always active, so linting ``tests/`` alone still
+catches a hand-typed ``b"LCDF"``.  After the last file, any occurrence
+of a canonical literal in a non-canonical file is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules.base import Rule
+
+#: Basenames treated as canonical wire-format homes.
+CANONICAL_BASENAMES = frozenset({"wire.py", "serialize.py"})
+
+#: Known canonical literals, always seeded (literal -> home description).
+BUILTIN_CANONICAL: Dict[Union[bytes, str, int], str] = {
+    b"LCDF": "repro/dist/wire.py (FRAME_MAGIC)",
+    "<4sBBhiq": "repro/dist/wire.py (frame header format)",
+    0x4C433344: "repro/octree/serialize.py (_MAGIC)",
+}
+
+_STRUCT_FUNCS = frozenset(
+    {"Struct", "pack", "unpack", "unpack_from", "pack_into", "calcsize"}
+)
+#: Shape of a plausible struct format string (plus minimum length 4 so
+#: trivial formats like ``"<q"`` never collide across modules).
+_FORMAT_RE = re.compile(r"^[@=<>!]?[0-9a-zA-Z?xsbBhHiIlLqQnNefdspP]{3,31}$")
+
+
+def _fmt(value: Union[bytes, str, int]) -> str:
+    return repr(value) if not isinstance(value, int) else hex(value)
+
+
+class WireConstantRule(Rule):
+    """WIRE001: struct formats / magic literals must live in one module."""
+
+    rule_id = "WIRE001"
+    description = "wire-format constants are defined once, imported elsewhere"
+
+    def __init__(self):
+        self._canonical: Dict[Union[bytes, str, int], str] = dict(
+            BUILTIN_CANONICAL
+        )
+        #: (relpath, line, col, literal) occurrences in non-canonical files
+        self._occurrences: List[
+            Tuple[str, int, int, Union[bytes, str, int]]
+        ] = []
+
+    # -- collection ---------------------------------------------------------
+    def _collect_canonical(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, bytes
+            ):
+                if len(node.value) >= 2:
+                    self._canonical.setdefault(node.value, ctx.relpath)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_struct = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _STRUCT_FUNCS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "struct"
+                )
+                if is_struct and node.args:
+                    arg = node.args[0]
+                    if isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, str
+                    ):
+                        if len(arg.value) >= 4:
+                            self._canonical.setdefault(
+                                arg.value, ctx.relpath
+                            )
+            elif isinstance(node, ast.Assign):
+                named_magic = any(
+                    isinstance(t, ast.Name) and "MAGIC" in t.id.upper()
+                    for t in node.targets
+                )
+                if (
+                    named_magic
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    self._canonical.setdefault(
+                        node.value.value, ctx.relpath
+                    )
+
+    def _collect_occurrences(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            keep = (
+                (isinstance(value, bytes) and len(value) >= 2)
+                or (
+                    isinstance(value, str)
+                    and _FORMAT_RE.match(value) is not None
+                )
+                or (
+                    isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and value >= 0x10000
+                )
+            )
+            if keep:
+                self._occurrences.append(
+                    (
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset + 1,
+                        value,
+                    )
+                )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Collect canonical constants / candidate occurrences; no findings yet."""
+        if ctx.parts[-1] in CANONICAL_BASENAMES:
+            self._collect_canonical(ctx)
+        else:
+            self._collect_occurrences(ctx)
+        return []
+
+    def finalize(self) -> List[Finding]:
+        """Flag canonical literals duplicated outside their home module."""
+        findings: List[Finding] = []
+        for relpath, line, col, value in self._occurrences:
+            home = None
+            try:
+                home = self._canonical.get(value)
+            except TypeError:  # pragma: no cover - unhashable constants
+                continue
+            if home is None:
+                continue
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"wire-format literal {_fmt(value)} duplicates the "
+                        f"canonical constant from {home} — import the named "
+                        "constant instead of re-typing the literal"
+                    ),
+                )
+            )
+        return findings

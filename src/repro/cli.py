@@ -19,10 +19,11 @@ Usage::
                                     # batched serving vs naive baseline
     python -m repro dist-run --ranks 4 --transport tcp
                                     # real multi-process SPMD run
+    python -m repro lint src tests  # project-specific static analysis
 
-Exit codes: 0 on success, 2 on bad arguments or configuration errors
-(argparse errors also exit 2), with a one-line message on stderr —
-never a traceback for a user mistake.
+Exit codes: 0 on success, 1 when ``lint`` reports findings, 2 on bad
+arguments or configuration errors (argparse errors also exit 2), with a
+one-line message on stderr — never a traceback for a user mistake.
 """
 
 from __future__ import annotations
@@ -227,6 +228,19 @@ def _dist_run(args: argparse.Namespace) -> None:
     print(format_table(["quantity", "value"], rows, title="dist-run"))
 
 
+def _lint(args: argparse.Namespace) -> int:
+    """Run the repro lint rules; exit 0 clean, 1 with findings."""
+    from repro.analysis.engine import LintEngine
+
+    engine = LintEngine()
+    findings = engine.run(args.paths or ["src"])
+    if args.format == "json":
+        sys.stdout.write(engine.to_json(findings))
+    else:
+        sys.stdout.write(engine.to_text(findings))
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
 def _serve_bench(args: argparse.Namespace) -> None:
     """Benchmark batched serving against the naive per-request baseline."""
     import json
@@ -303,11 +317,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "pipeline", "serve-bench", "dist-run"],
+        choices=sorted(COMMANDS)
+        + ["all", "pipeline", "serve-bench", "dist-run", "lint"],
         help="which experiment to run ('pipeline' runs the end-to-end "
         "convolution itself; 'serve-bench' benchmarks the batching "
         "service; 'dist-run' executes the pipeline as a real multi-process "
-        "SPMD job; see the flag groups below)",
+        "SPMD job; 'lint' runs the project-specific static analysis; "
+        "see the flag groups below)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (lint only; default: src)",
     )
     group = parser.add_argument_group("pipeline options")
     group.add_argument("--n", type=int, default=64, help="global grid edge")
@@ -380,8 +401,19 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_serve.json",
         help="where to write the benchmark report JSON",
     )
+    lint = parser.add_argument_group("lint options")
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="lint output format (json is the stable CI-artifact schema)",
+    )
     args = parser.parse_args(argv)
+    if args.paths and args.experiment != "lint":
+        parser.error("positional paths are only valid with 'lint'")
     try:
+        if args.experiment == "lint":
+            return _lint(args)
         if args.experiment == "pipeline":
             _pipeline(args)
         elif args.experiment == "serve-bench":

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.dist.ledger import CATEGORY_CONTROL
 from repro.dist.wire import Frame, FrameKind
-from repro.errors import RankFailure
+from repro.errors import CommunicationError, RankFailure
 
 
 class HeartbeatMonitor:
@@ -79,23 +79,46 @@ class HeartbeatSender:
 
     Send failures are swallowed: a dead peer is detected and reported by
     the receive path, not the beacon path.
+
+    Shutdown is hardened so a wedged transport can never wedge the
+    process: the thread is a daemon (interpreter exit never waits for
+    it), :meth:`stop` is idempotent (safe to call any number of times,
+    from ``close()`` paths that may run twice), and the join is bounded
+    — a beacon stuck inside a hung ``send`` leaves :meth:`stop`
+    returning ``False`` within the timeout instead of blocking forever.
     """
 
     def __init__(self, transport, interval_s: float):
         self.transport = transport
         self.interval_s = float(interval_s)
         self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._started = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
 
     def start(self) -> None:
-        """Start beaconing."""
+        """Start beaconing (no-op if already started or already stopped)."""
+        if self._started or self._stop.is_set():
+            return
+        self._started = True
         self._thread.start()
 
-    def stop(self) -> None:
-        """Stop beaconing and join the thread."""
+    def stop(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop beaconing; returns True when the thread has exited.
+
+        Idempotent: every call signals the stop event and re-joins with a
+        bounded timeout (default ``interval_s + 1``).  A ``False`` return
+        means the beacon thread is stuck in a hung transport send — it is
+        a daemon, so it cannot block interpreter exit either way.
+        """
         self._stop.set()
+        if not self._started:
+            return True
+        budget = self.interval_s + 1.0 if timeout_s is None else timeout_s
         if self._thread.is_alive():
-            self._thread.join(timeout=self.interval_s + 1.0)
+            self._thread.join(timeout=budget)
+        return not self._thread.is_alive()
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval_s):
@@ -108,5 +131,7 @@ class HeartbeatSender:
                         Frame(FrameKind.HEARTBEAT, self.transport.rank, 0),
                         CATEGORY_CONTROL,
                     )
-                except Exception:  # noqa: BLE001 - receive path reports deaths
+                except (CommunicationError, OSError):
+                    # Dead peer / torn-down transport: the receive path
+                    # reports the death; the beacon thread just exits.
                     return

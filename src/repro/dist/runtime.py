@@ -107,7 +107,7 @@ def _run_local(
         except _InjectedCrash:
             with lock:
                 outcome.failures[rank] = "injected crash"
-        except Exception as exc:  # noqa: BLE001 - reported, driver decides
+        except Exception as exc:  # noqa: BLE001  # repro-lint: broad-except-ok(driver boundary: failure recorded in outcome, launcher decides recovery)
             with lock:
                 outcome.failures[rank] = f"{type(exc).__name__}: {exc}"
 
@@ -163,11 +163,12 @@ def _tcp_child(
         comm.close()
         conn.send(("result", rank, result))
         conn.close()
-    except Exception as exc:  # noqa: BLE001 - shipped to the driver
+    except Exception as exc:  # noqa: BLE001  # repro-lint: broad-except-ok(driver boundary: error shipped over the bootstrap pipe, driver decides)
         try:
             conn.send(("error", rank, f"{type(exc).__name__}: {exc}"))
             conn.close()
-        except Exception:  # noqa: BLE001 - driver sees EOF instead
+        except (OSError, ValueError, EOFError):
+            # Pipe already torn down: the driver sees EOF instead.
             pass
         os._exit(1)
 

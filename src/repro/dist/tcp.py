@@ -261,7 +261,7 @@ class TcpTransport(Transport):
             try:
                 for dst, frame in outgoing.items():
                     self.send(dst, frame, category)
-            except Exception as exc:  # surfaced after the receive loop
+            except Exception as exc:  # repro-lint: broad-except-ok(captured and re-raised after the receive loop drains)
                 send_error.append(exc)
 
         sender = threading.Thread(target=_send_all, daemon=True)

@@ -60,6 +60,23 @@ class TransportError(CommunicationError):
     """
 
 
+class ConcurrencyViolation(ReproError):
+    """The runtime lock watcher observed an unsafe concurrency pattern.
+
+    Raised by :meth:`repro.analysis.lockwatch.LockWatchReport.check` when
+    the dynamic per-thread lock-acquisition graph contains a cycle (a
+    potential deadlock: two threads acquired the same locks in opposite
+    orders) or a blocking call was made while holding a non-I/O lock.
+    Carries the full report so test failures show the witness — thread
+    names, acquisition stacks, and the offending edge list.
+    """
+
+    def __init__(self, message: str, *, report=None):
+        super().__init__(message)
+        #: the :class:`repro.analysis.lockwatch.LockWatchReport` witness
+        self.report = report
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its iteration budget."""
 

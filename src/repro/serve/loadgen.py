@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import os
 import platform
-import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional
 
@@ -35,6 +34,7 @@ from repro.core.pipeline import LowCommConvolution3D
 from repro.core.policy import SamplingPolicy
 from repro.errors import ConfigurationError
 from repro.kernels.gaussian import GaussianKernel
+from repro.serve.clock import Clock, MonotonicClock
 from repro.serve.server import ConvolutionServer, ServerConfig
 from repro.util.validation import check_positive_int
 
@@ -136,26 +136,31 @@ class BenchReport:
         return self.naive_s / self.batched_s if self.batched_s else float("inf")
 
 
-def run_naive_baseline(spec: LoadSpec, policy: SamplingPolicy) -> tuple:
+def run_naive_baseline(
+    spec: LoadSpec, policy: SamplingPolicy, clock: Optional[Clock] = None
+) -> tuple:
     """Serve the stream one request at a time, stateless per request.
 
     Returns ``(elapsed_s, results)`` where results are the dense approx
-    arrays in stream order.
+    arrays in stream order.  Timing reads the injectable ``clock``
+    (monotonic by default), like everything else in the serving layer.
     """
+    clock = clock or MonotonicClock()
     kernels = spec.kernels()
     stream = spec.requests()
-    t0 = time.perf_counter()
+    t0 = clock.now()
     results = []
     for item in stream:
         pipeline = LowCommConvolution3D(spec.n, spec.k, kernels[item["kernel"]], policy)
         results.append(pipeline.run_serial(item["field"]).approx)
-    return time.perf_counter() - t0, results
+    return clock.now() - t0, results
 
 
 def run_batched_server(
     spec: LoadSpec,
     policy: SamplingPolicy,
     config: Optional[ServerConfig] = None,
+    clock: Optional[Clock] = None,
 ) -> tuple:
     """Serve the stream through the batching server.
 
@@ -164,18 +169,19 @@ def run_batched_server(
     region, matching the naive baseline, which also pays construction
     per request *inside* its loop — that asymmetry is the point).
     """
+    clock = clock or MonotonicClock()
     config = config or ServerConfig()
     config.n, config.k = spec.n, spec.k
     config.default_policy = policy
-    server = ConvolutionServer(config)
+    server = ConvolutionServer(config, clock=clock)
     for name, spectrum in spec.kernels().items():
         server.register_kernel(name, spectrum)
     stream = spec.requests()
-    t0 = time.perf_counter()
+    t0 = clock.now()
     handles = [server.submit(item["field"], kernel=item["kernel"]) for item in stream]
     server.drain()
     results = [h.result(timeout=0) for h in handles]
-    elapsed = time.perf_counter() - t0
+    elapsed = clock.now() - t0
     return elapsed, [r.approx for r in results], server
 
 

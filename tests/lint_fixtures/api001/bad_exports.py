@@ -1,0 +1,15 @@
+"""API001 positive fixture: __all__ and the public surface disagree."""
+
+__all__ = ["pledged", "ghost_entry"]
+
+
+def pledged():
+    return 1
+
+
+def unpledged_public():
+    return 2
+
+
+class UnpledgedThing:
+    pass

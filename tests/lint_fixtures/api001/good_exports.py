@@ -1,0 +1,15 @@
+"""API001 negative fixture: complete __all__, private helpers exempt."""
+
+__all__ = ["pledged", "PublicThing"]
+
+
+def pledged():
+    return _helper()
+
+
+def _helper():
+    return 1
+
+
+class PublicThing:
+    pass

@@ -1,0 +1,16 @@
+"""CLK001 positive fixture: direct wall-clock reads in a serve/ module."""
+
+import time
+from time import monotonic
+
+
+def deadline_passed(deadline):
+    return time.monotonic() > deadline
+
+
+def wait_a_bit():
+    time.sleep(0.01)
+
+
+def bare_import_read():
+    return monotonic()

@@ -1,0 +1,14 @@
+"""CLK001 negative fixture: time flows through the injectable clock."""
+
+
+def deadline_passed(clock, deadline):
+    return clock.now() > deadline
+
+
+def wait_a_bit(clock):
+    clock.sleep(0.01)
+
+
+def unrelated_time_method(schedule):
+    # An attribute named 'time' on a non-time object is not a clock read.
+    return schedule.time()

@@ -1,0 +1,15 @@
+"""EXC001 positive fixture: untyped catch-alls on a dist/ path."""
+
+
+def swallow_everything(transport):
+    try:
+        return transport.poll()
+    except Exception:
+        return None
+
+
+def bare_swallow(transport):
+    try:
+        return transport.poll()
+    except:  # noqa: E722 - deliberate fixture violation
+        return None

@@ -1,0 +1,26 @@
+"""EXC001 negative fixture: narrow, wrapped, or tagged handlers."""
+
+
+class TransportError(Exception):
+    pass
+
+
+def narrow_handler(transport):
+    try:
+        return transport.poll()
+    except (OSError, ValueError):
+        return None
+
+
+def wrapping_handler(transport):
+    try:
+        return transport.poll()
+    except Exception as exc:
+        raise TransportError("poll failed") from exc
+
+
+def tagged_driver_boundary(transport):
+    try:
+        return transport.poll()
+    except Exception:  # repro-lint: broad-except-ok(driver boundary fixture)
+        return None

@@ -1,0 +1,18 @@
+"""LCK001 positive fixture: two functions acquire the same locks ABBA."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def first_path():
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def second_path():
+    with lock_b:
+        with lock_a:
+            pass

@@ -1,0 +1,8 @@
+"""LCK001 cross-file fixture, half A: queue lock then state lock."""
+
+
+class Shared:
+    def drain(self):
+        with self._queue_lock:
+            with self._state_lock:
+                pass

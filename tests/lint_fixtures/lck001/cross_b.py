@@ -1,0 +1,8 @@
+"""LCK001 cross-file fixture, half B: the same class locks, reversed."""
+
+
+class Shared:
+    def refill(self):
+        with self._state_lock:
+            with self._queue_lock:
+                pass

@@ -1,0 +1,18 @@
+"""LCK001 negative fixture: nested acquisitions in one consistent order."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def first_path():
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def second_path():
+    with lock_a:
+        with lock_b:
+            pass

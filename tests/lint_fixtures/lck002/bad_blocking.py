@@ -1,0 +1,18 @@
+"""LCK002 positive fixture: blocking calls inside critical sections."""
+
+import time
+import threading
+
+state_lock = threading.Lock()
+
+
+def sleeps_under_lock():
+    with state_lock:
+        time.sleep(0.1)
+
+
+def recv_under_acquire(sock):
+    state_lock.acquire()
+    data = sock.recv(1024)
+    state_lock.release()
+    return data

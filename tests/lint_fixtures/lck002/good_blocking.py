@@ -1,0 +1,20 @@
+"""LCK002 negative fixture: I/O outside the lock, or under a send lock."""
+
+import time
+import threading
+
+state_lock = threading.Lock()
+send_lock = threading.Lock()
+
+
+def sleeps_outside_lock():
+    with state_lock:
+        x = 1
+    time.sleep(0.1)
+    return x
+
+
+def sendall_under_send_lock(sock, payload):
+    # An I/O-serialization lock: blocking sendall is exactly its purpose.
+    with send_lock:
+        sock.sendall(payload)

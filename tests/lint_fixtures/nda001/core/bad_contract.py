@@ -1,0 +1,24 @@
+"""NDA001 positive fixture: docstring contracts the body contradicts."""
+
+import numpy as np
+
+
+def wrong_dtype(n):
+    """Build a grid.
+
+    Returns
+    -------
+    np.ndarray
+        float64 array of shape (n, n).
+    """
+    data = np.zeros((n, n))
+    return data.astype(np.float32)
+
+
+def wrong_shape(values):
+    """Tile values.
+
+    Returns a float64 array of shape (n, n, n).
+    """
+    cube = np.asarray(values, dtype=np.float64)
+    return cube.ravel()

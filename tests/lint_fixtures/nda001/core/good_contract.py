@@ -1,0 +1,20 @@
+"""NDA001 negative fixture: contracts kept (or not declared)."""
+
+import numpy as np
+
+
+def right_dtype(n):
+    """Build a grid.
+
+    Returns
+    -------
+    np.ndarray
+        float32 array of shape (n, n).
+    """
+    data = np.zeros((n, n))
+    return data.astype(np.float32)
+
+
+def no_contract(values):
+    """Pass values through a dtype change the docstring never pledges."""
+    return np.asarray(values).astype(np.float32)

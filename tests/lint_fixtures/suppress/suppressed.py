@@ -1,0 +1,16 @@
+"""Suppression fixture: one working disable comment, one stale one."""
+
+import time
+import threading
+
+state_lock = threading.Lock()
+
+
+def silenced():
+    with state_lock:
+        time.sleep(0.01)  # repro-lint: disable=LCK002
+
+
+def stale_comment():
+    x = 1  # repro-lint: disable=LCK002
+    return x

@@ -1,0 +1,15 @@
+"""WIRE001 positive fixture: re-typed literals from the canonical module."""
+
+import struct
+
+
+def sniff(data):
+    return data[:4] == b"FXMT"
+
+
+def parse(data):
+    return struct.unpack("<4sBBxxii", data)
+
+
+def check_payload(word):
+    return word == 0x46584D54

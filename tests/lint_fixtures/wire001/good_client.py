@@ -1,0 +1,13 @@
+"""WIRE001 negative fixture: constants imported from their home module."""
+
+MAGIC = None  # stands in for: from wire import MAGIC, HEADER
+
+
+def sniff(data):
+    return data[:4] == MAGIC
+
+
+def unrelated_literals(flag):
+    # Bytes/ints that are not canonical constants are fine anywhere.
+    marker = b"ok"
+    return (marker, 7, "hello world" if flag else None)

@@ -1,0 +1,7 @@
+"""WIRE001 canonical fixture: the one home for this format's constants."""
+
+import struct
+
+MAGIC = b"FXMT"
+HEADER = struct.Struct("<4sBBxxii")
+PAYLOAD_MAGIC = 0x46584D54

@@ -110,3 +110,48 @@ class TestHeartbeatedRun:
             for r in report.rank_results.values()
         )
         assert report.exchange_wire_bytes == expected
+
+
+class TestHeartbeatSenderShutdown:
+    """The beacon thread must never be able to wedge a shutdown."""
+
+    def _sender(self, interval_s=0.01):
+        from repro.dist.heartbeat import HeartbeatSender
+        from repro.dist.transport import LocalFabric
+
+        fabric = LocalFabric(2)
+        return HeartbeatSender(fabric.endpoint(0), interval_s), fabric
+
+    def test_thread_is_daemon(self):
+        sender, _ = self._sender()
+        assert sender._thread.daemon
+
+    def test_stop_is_idempotent_and_joinable(self):
+        sender, _ = self._sender()
+        sender.start()
+        assert sender.stop() is True
+        assert sender.stop() is True  # second call must not block or raise
+        assert not sender._thread.is_alive()
+
+    def test_stop_before_start_is_safe(self):
+        sender, _ = self._sender()
+        assert sender.stop() is True
+        sender.start()  # stop already requested: must stay a no-op
+        assert not sender._thread.is_alive()
+
+    def test_start_twice_is_a_noop(self):
+        sender, _ = self._sender()
+        sender.start()
+        sender.start()
+        assert sender.stop() is True
+
+    def test_communicator_close_twice_is_safe(self):
+        from repro.dist.collectives import Communicator
+        from repro.dist.transport import LocalFabric
+
+        fabric = LocalFabric(2)
+        comm = Communicator(fabric.endpoint(0), heartbeat_s=0.01)
+        comm.close()
+        comm.close()  # double close: idempotent stop + transport close
+        assert comm._sender is not None
+        assert not comm._sender._thread.is_alive()

@@ -51,7 +51,7 @@ class TestRoundtrip:
 class TestRejection:
     def test_short_header(self):
         with pytest.raises(TransportError, match="truncated frame header"):
-            decode_header(b"LCDF")
+            decode_header(FRAME_MAGIC)
 
     def test_bad_magic_offset_zero(self):
         data = bytearray(encode_frame(Frame(FrameKind.DATA, 0, 0, b"x")))

@@ -1,0 +1,257 @@
+"""Fixture tests for the repro lint framework: every rule fires and stays quiet.
+
+Each rule gets a positive fixture (deliberate violations under
+``tests/lint_fixtures/``) proving it fires with the right count, and a
+negative fixture proving it stays silent on compliant code.  Engine
+behavior — suppression comments, SUP001 unused-suppression warnings,
+JSON schema, discovery exclusions, CLI exit codes — is covered here too,
+and the final gate test asserts the real tree lints clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    EXCLUDED_DIRS,
+    JSON_SCHEMA_VERSION,
+    LintEngine,
+    discover_files,
+    run_lint,
+)
+from repro.analysis.rules import default_rules, rule_by_id
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO = Path(__file__).parent.parent
+
+
+def lint_with(rule_id, *relpaths):
+    """Run one rule over fixture files; returns (engine, findings)."""
+    engine = LintEngine([rule_by_id(rule_id)])
+    findings = engine.run([FIXTURES / rel for rel in relpaths])
+    return engine, findings
+
+
+class TestLockOrderRule:
+    def test_fires_on_abba(self):
+        _, findings = lint_with("LCK001", "lck001/bad_order.py")
+        assert len(findings) == 2  # both edges of the cycle are flagged
+        assert all(f.rule_id == "LCK001" for f in findings)
+        assert "cycle" in findings[0].message
+
+    def test_silent_on_consistent_order(self):
+        _, findings = lint_with("LCK001", "lck001/good_order.py")
+        assert findings == []
+
+    def test_cycle_across_files(self):
+        # Class-qualified lock identities unify across files: half A takes
+        # queue->state, half B takes state->queue on the same class.
+        for half in ("lck001/cross_a.py", "lck001/cross_b.py"):
+            _, alone = lint_with("LCK001", half)
+            assert alone == []  # either half alone is a valid order
+        _, findings = lint_with(
+            "LCK001", "lck001/cross_a.py", "lck001/cross_b.py"
+        )
+        assert len(findings) == 2
+        assert {Path(f.path).name for f in findings} == {
+            "cross_a.py", "cross_b.py",
+        }
+
+
+class TestLockHeldBlockingRule:
+    def test_fires_on_sleep_and_recv(self):
+        _, findings = lint_with("LCK002", "lck002/bad_blocking.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "time.sleep()" in messages
+        assert ".recv()" in messages
+
+    def test_silent_outside_lock_and_for_io_locks(self):
+        _, findings = lint_with("LCK002", "lck002/good_blocking.py")
+        assert findings == []
+
+
+class TestBroadExceptRule:
+    def test_fires_on_broad_and_bare(self):
+        _, findings = lint_with("EXC001", "exc001/dist/bad_except.py")
+        assert len(findings) == 2
+        kinds = {f.message.split(" on ")[0] for f in findings}
+        assert kinds == {"broad except", "bare except"}
+
+    def test_silent_on_narrow_wrapping_or_tagged(self):
+        _, findings = lint_with("EXC001", "exc001/dist/good_except.py")
+        assert findings == []
+
+    def test_out_of_scope_outside_dist(self):
+        # The same violations in a non-dist path are out of scope.
+        _, findings = lint_with("EXC001", "lck002/bad_blocking.py")
+        assert findings == []
+
+
+class TestInjectableClockRule:
+    def test_fires_on_module_and_bare_calls(self):
+        _, findings = lint_with("CLK001", "clk001/serve/bad_clock.py")
+        assert len(findings) == 3
+        assert {"time.monotonic", "time.sleep", "monotonic"} == {
+            f.message.split("(")[0].split()[1] for f in findings
+        }
+
+    def test_silent_on_injected_clock(self):
+        _, findings = lint_with("CLK001", "clk001/serve/good_clock.py")
+        assert findings == []
+
+
+class TestWireConstantRule:
+    def test_fires_on_duplicated_literals(self):
+        _, findings = lint_with(
+            "WIRE001", "wire001/wire.py", "wire001/bad_client.py"
+        )
+        assert len(findings) == 3  # bytes magic, format string, int magic
+        assert all("bad_client.py" in f.path for f in findings)
+
+    def test_silent_on_imports_and_unrelated_literals(self):
+        _, findings = lint_with(
+            "WIRE001", "wire001/wire.py", "wire001/good_client.py"
+        )
+        assert findings == []
+
+    def test_builtin_seed_catches_frame_magic_anywhere(self, tmp_path):
+        rogue = tmp_path / "rogue.py"
+        rogue.write_text('HEADER = b"LCDF"\n')
+        engine = LintEngine([rule_by_id("WIRE001")])
+        findings = engine.run([rogue])
+        assert len(findings) == 1
+        assert "FRAME_MAGIC" in findings[0].message
+
+
+class TestExportHygieneRule:
+    def test_fires_on_unpledged_and_ghost_names(self):
+        _, findings = lint_with("API001", "api001/bad_exports.py")
+        messages = " ".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "unpledged_public" in messages
+        assert "UnpledgedThing" in messages
+        assert "ghost_entry" in messages
+
+    def test_silent_on_complete_all(self):
+        _, findings = lint_with("API001", "api001/good_exports.py")
+        assert findings == []
+
+
+class TestNumpyContractRule:
+    def test_fires_on_dtype_and_shape_contradictions(self):
+        _, findings = lint_with("NDA001", "nda001/core/bad_contract.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "float64" in messages and "float32" in messages
+        assert "flattens" in messages
+
+    def test_silent_on_kept_or_undeclared_contracts(self):
+        _, findings = lint_with("NDA001", "nda001/core/good_contract.py")
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_disable_comment_silences_and_stale_comment_warns(self):
+        engine = LintEngine()
+        findings = engine.run([FIXTURES / "suppress/suppressed.py"])
+        assert [f.rule_id for f in findings] == ["SUP001"]
+        assert findings[0].severity == "warning"
+        assert "LCK002" in findings[0].message
+
+    def test_docstring_mentioning_marker_is_not_a_suppression(self, tmp_path):
+        mod = tmp_path / "doc.py"
+        mod.write_text(
+            '"""Docs may say repro-lint: disable=LCK002 freely."""\n'
+            "x = 1\n"
+        )
+        assert run_lint([mod]) == []
+
+
+class TestEngine:
+    def test_discovery_skips_fixture_trees(self):
+        files = discover_files([FIXTURES.parent])
+        assert "lint_fixtures" in EXCLUDED_DIRS
+        assert not any("lint_fixtures" in str(f) for f in files)
+
+    def test_missing_path_is_loud(self):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            discover_files([FIXTURES / "no_such_dir"])
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        findings = run_lint([broken])
+        assert [f.rule_id for f in findings] == ["PAR000"]
+
+    def test_findings_sorted_and_formatted(self):
+        _, findings = lint_with("LCK002", "lck002/bad_blocking.py")
+        assert findings == sorted(findings)
+        text = findings[0].format()
+        path, line, col, rest = text.split(":", 3)
+        assert path.endswith("bad_blocking.py")
+        assert int(line) > 0 and int(col) > 0
+        assert rest.strip().startswith("LCK002 ")
+
+    def test_json_schema(self):
+        engine = LintEngine()
+        findings = engine.run([FIXTURES / "exc001" / "dist" / "bad_except.py"])
+        doc = json.loads(engine.to_json(findings))
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        assert doc["files_scanned"] == 1
+        assert doc["counts"] == {"EXC001": 2}
+        assert sorted(doc["rules"]) == sorted(
+            r.rule_id for r in map(lambda c: c, default_rules())
+        )
+        for entry in doc["findings"]:
+            assert set(entry) == {
+                "path", "line", "col", "rule", "message", "severity",
+            }
+
+    def test_rule_by_id_unknown_is_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown lint rule"):
+            rule_by_id("NOPE999")
+
+
+class TestCli:
+    def test_lint_findings_exit_1(self, capsys):
+        bad = FIXTURES / "clk001" / "serve" / "bad_clock.py"
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "CLK001" in out and "error(s)" in out
+
+    def test_lint_clean_exit_0(self, capsys):
+        good = FIXTURES / "clk001" / "serve" / "good_clock.py"
+        assert main(["lint", str(good)]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_lint_json_format(self, capsys):
+        bad = FIXTURES / "api001" / "bad_exports.py"
+        assert main(["lint", str(bad), "--format=json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"] == {"API001": 3}
+
+    def test_lint_missing_path_exit_2(self, capsys):
+        assert main(["lint", "definitely/not/here"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_paths_rejected_for_other_commands(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "src"])
+        assert exc.value.code == 2
+
+
+class TestTreeIsClean:
+    def test_src_lints_clean(self):
+        """The gate: the shipped tree has zero findings under src/."""
+        engine = LintEngine()
+        findings = engine.run([REPO / "src"])
+        assert findings == [], "\n" + engine.to_text(findings)
+
+    def test_tests_and_benchmarks_lint_clean(self):
+        engine = LintEngine()
+        findings = engine.run([REPO / "tests", REPO / "benchmarks"])
+        assert findings == [], "\n" + engine.to_text(findings)
