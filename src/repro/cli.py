@@ -206,6 +206,8 @@ def _dist_run(args: argparse.Namespace) -> None:
         transport=args.transport,
         seed=args.seed,
         real_kernel=args.real_kernel,
+        overlap=args.overlap,
+        window=args.window,
     )
     field = composite_field(config.n, config.seed)
     spectrum = default_spectrum(config)
@@ -215,6 +217,10 @@ def _dist_run(args: argparse.Namespace) -> None:
     rows = [
         ["transport / ranks", f"{config.transport} / {config.num_ranks}"],
         ["n / k / policy", f"{config.n} / {config.k} / {config.policy}"],
+        [
+            "exchange mode",
+            f"streamed (window {config.window})" if config.overlap else "barrier",
+        ],
         ["bitwise identical to run_serial", bitwise],
         ["failed ranks", report.failed_ranks or "none"],
         ["recovered from checkpoints", report.recovered],
@@ -223,6 +229,7 @@ def _dist_run(args: argparse.Namespace) -> None:
         ["wire / model ratio", f"{report.wire_over_model:.4f}"],
         ["slowest rank compute (s)", f"{report.max_compute_s:.3f}"],
         ["slowest rank exchange (s)", f"{report.max_exchange_s:.3f}"],
+        ["exchange hidden behind compute (s)", f"{report.max_exchange_hidden_s:.3f}"],
         ["elapsed (s)", f"{report.elapsed_s:.3f}"],
     ]
     print(format_table(["quantity", "value"], rows, title="dist-run"))
@@ -371,6 +378,20 @@ def main(argv: list[str] | None = None) -> int:
         default="tcp",
         help="rank transport: 'tcp' = one OS process per rank over "
         "localhost sockets, 'local' = in-process loopback threads",
+    )
+    dist.add_argument(
+        "--overlap",
+        action="store_true",
+        help="stream each finished chunk into the exchange while the "
+        "next chunk computes (overlap mode) instead of the "
+        "compute-then-exchange barrier",
+    )
+    dist.add_argument(
+        "--window",
+        type=int,
+        default=2,
+        help="bounded in-flight chunk window for --overlap "
+        "(2 = double buffered)",
     )
     serve = parser.add_argument_group("serve-bench options")
     serve.add_argument(

@@ -37,10 +37,10 @@ Layers, bottom up:
 thing end to end.
 """
 
-from repro.dist.collectives import Communicator
+from repro.dist.collectives import Communicator, StreamedAllgather
 from repro.dist.launcher import DistRunReport, dist_run, simulated_crosscheck
 from repro.dist.ledger import WireLedger, merge_wire_snapshots
-from repro.dist.transport import LocalFabric, LocalTransport, Transport
+from repro.dist.transport import LocalFabric, LocalTransport, SendWindow, Transport
 from repro.dist.tcp import TcpTransport
 from repro.dist.wire import Frame, FrameKind
 from repro.dist.worker import DistConfig, RankResult, composite_field
@@ -54,6 +54,8 @@ __all__ = [
     "LocalFabric",
     "LocalTransport",
     "RankResult",
+    "SendWindow",
+    "StreamedAllgather",
     "TcpTransport",
     "Transport",
     "WireLedger",

@@ -23,6 +23,7 @@ receive is blocked.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from repro.dist.heartbeat import HeartbeatMonitor, HeartbeatSender
@@ -34,13 +35,16 @@ from repro.dist.ledger import (
 )
 from repro.dist.transport import Transport
 from repro.dist.wire import Frame, FrameKind
-from repro.errors import CommunicationError, TransportError
+from repro.errors import CommunicationError, RankFailure, TransportError
 
 #: Tags for the pipeline's bulk-synchronous phases.
 TAG_SPECTRUM = 1
 TAG_FIELD = 2
 TAG_EXCHANGE = 3
 TAG_BARRIER = 4
+#: End-of-stream marker for the streamed exchange: one empty frame per
+#: peer closes that peer's chunk stream.
+TAG_EXCHANGE_END = 5
 
 #: Slice size for receive waits so the heartbeat monitor is consulted
 #: even while blocked on a quiet fabric.
@@ -198,6 +202,31 @@ class Communicator:
             result[src] = frame.payload
         return result
 
+    def sparse_allgather_stream(
+        self,
+        tag: int = TAG_EXCHANGE,
+        end_tag: int = TAG_EXCHANGE_END,
+        window: int = 2,
+        category: str = CATEGORY_EXCHANGE,
+    ) -> "StreamedAllgather":
+        """Open a streamed sparse exchange (overlap mode).
+
+        Where :meth:`sparse_allgather` ships one blob per rank after all
+        compute has finished, the streamed variant accepts chunk payloads
+        *as they are produced* (:meth:`StreamedAllgather.push`) and drains
+        them to every peer on a bounded
+        :class:`~repro.dist.transport.SendWindow` while the caller keeps
+        computing — the send half of the exchange hides behind compute.
+        :meth:`StreamedAllgather.finish` closes this rank's stream with an
+        ``end_tag`` marker frame per peer and collects every peer's chunk
+        list.  Merging all chunks by sub-domain index yields exactly the
+        payload set of the barrier-mode exchange, so results stay bitwise
+        identical.
+        """
+        return StreamedAllgather(
+            self, tag=tag, end_tag=end_tag, window=window, category=category
+        )
+
     def alltoall(
         self,
         payloads: List[bytes],
@@ -233,3 +262,164 @@ class Communicator:
         if self._sender is not None:
             self._sender.stop()
         self.transport.close()
+
+
+class StreamedAllgather:
+    """One in-progress streamed sparse exchange (see
+    :meth:`Communicator.sparse_allgather_stream`).
+
+    Protocol: every pushed chunk goes to every peer as a ``tag`` DATA
+    frame the moment the send window drains it; :meth:`finish` sends one
+    empty ``end_tag`` frame per peer, then receives until every peer's
+    ``end_tag`` has arrived.  Chunks from one peer are delivered in push
+    order (both transports preserve per-pair ordering), but no cross-peer
+    ordering is assumed anywhere.
+
+    Wire accounting: chunk ``i``'s frames are attributed to ledger window
+    ``<name>:<i>`` and the end markers to ``<name>:end``, all under the
+    exchange category — summing the per-window counters reproduces the
+    category totals that Eq 6 accounting audits.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        tag: int = TAG_EXCHANGE,
+        end_tag: int = TAG_EXCHANGE_END,
+        window: int = 2,
+        category: str = CATEGORY_EXCHANGE,
+        name: str = "stream",
+    ):
+        if tag == end_tag:
+            raise CommunicationError(
+                f"stream tag and end tag must differ, both are {tag}"
+            )
+        self.comm = comm
+        self.tag = tag
+        self.end_tag = end_tag
+        self.category = category
+        self.name = name
+        self._peers = [r for r in range(comm.size) if r != comm.rank]
+        self._own: List[bytes] = []
+        self._seq = 0
+        self._finished = False
+        self._window = (
+            comm.transport.send_window(window=window, name=name)
+            if self._peers
+            else None
+        )
+
+    @property
+    def chunks_pushed(self) -> int:
+        """Number of chunk payloads pushed so far."""
+        return self._seq
+
+    def push(self, payload: bytes) -> None:
+        """Stream one chunk payload to every peer (bounded, non-blocking).
+
+        Returns as soon as the chunk is queued on the send window; blocks
+        only when ``window`` chunks are already in flight (backpressure).
+        """
+        if self._finished:
+            raise CommunicationError("stream already finished")
+        self._own.append(payload)
+        if self._window is not None:
+            frame = Frame(FrameKind.DATA, self.comm.rank, self.tag, payload)
+            self._window.submit(
+                [(dst, frame, self.category) for dst in self._peers],
+                label=f"{self.name}:{self._seq}",
+            )
+        self._seq += 1
+
+    def hidden_seconds(self, until: float) -> float:
+        """Send time that elapsed before perf-counter instant ``until``.
+
+        With ``until`` = the moment local compute ended, this is the wire
+        time the stream hid behind compute.
+        """
+        if self._window is None:
+            return 0.0
+        return self._window.sent_seconds_before(until)
+
+    def send_seconds(self) -> float:
+        """Total wire send time of the stream (hidden + visible)."""
+        if self._window is None:
+            return 0.0
+        return self._window.sent_seconds_total()
+
+    def finish(self, timeout: Optional[float] = None) -> List[List[bytes]]:
+        """Close this rank's stream and collect every peer's chunks.
+
+        Returns per-rank chunk lists indexed by source rank (this rank's
+        own chunks included at its slot, in push order).  Raises
+        :class:`RankFailure` when a peer dies mid-stream,
+        :class:`TransportError` on deadline.
+        """
+        if self._finished:
+            raise CommunicationError("stream already finished")
+        self._finished = True
+        budget = self.comm.recv_timeout_s if timeout is None else float(timeout)
+        result: List[List[bytes]] = [[] for _ in range(self.comm.size)]
+        result[self.comm.rank] = list(self._own)
+        if self._window is None:
+            return result
+        end = Frame(FrameKind.DATA, self.comm.rank, self.end_tag, b"")
+        self._window.submit(
+            [(dst, end, self.category) for dst in self._peers],
+            label=f"{self.name}:end",
+        )
+        try:
+            self._drain(result, budget)
+        except BaseException:
+            # receive-side failure is primary; still reap the pump thread
+            try:
+                self._window.close(timeout=budget)
+            except (TransportError, RankFailure, CommunicationError):
+                pass
+            raise
+        self._window.close(timeout=budget)
+        return result
+
+    def _drain(self, result: List[List[bytes]], budget: float) -> None:
+        pending = set(self._peers)
+        # out-of-phase frames parked earlier may already hold our chunks
+        for parked in list(self.comm._parked):
+            if parked.tag == self.tag and parked.src in pending:
+                self.comm._parked.remove(parked)
+                result[parked.src].append(parked.payload)
+            elif parked.tag == self.end_tag and parked.src in pending:
+                self.comm._parked.remove(parked)
+                pending.discard(parked.src)
+        deadline = time.monotonic() + budget
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"rank {self.comm.rank}: streamed exchange timed out "
+                    f"after {budget}s with ranks {sorted(pending)} still "
+                    "streaming"
+                )
+            try:
+                frame = self.comm.transport.recv(
+                    min(remaining, _POLL_SLICE_S), self.category
+                )
+            except TransportError:
+                if self.comm.monitor is not None:
+                    self.comm.monitor.check()
+                continue  # re-check overall deadline
+            self.comm._note(frame)
+            if frame.kind == FrameKind.HEARTBEAT:
+                continue
+            if frame.kind == FrameKind.BYE:
+                if frame.src in pending:
+                    raise RankFailure(
+                        f"rank {frame.src} said BYE while rank "
+                        f"{self.comm.rank} still expected its chunk stream"
+                    )
+                continue
+            if frame.tag == self.tag and frame.src in pending:
+                result[frame.src].append(frame.payload)
+            elif frame.tag == self.end_tag and frame.src in pending:
+                pending.discard(frame.src)
+            else:
+                self.comm._parked.append(frame)

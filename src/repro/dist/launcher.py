@@ -70,6 +70,9 @@ class DistRunReport:
     naive_eq6_bytes: int = 0
     max_compute_s: float = 0.0
     max_exchange_s: float = 0.0
+    #: slowest rank's streamed-send time hidden behind compute (overlap
+    #: mode only; 0.0 in barrier mode)
+    max_exchange_hidden_s: float = 0.0
 
     @property
     def wire_over_model(self) -> float:
@@ -133,12 +136,19 @@ def _recover(
     config: DistConfig,
     field: np.ndarray,
     spectrum: np.ndarray,
-    checkpoints: Dict[int, bytes],
+    checkpoint_blobs: List[bytes],
 ) -> np.ndarray:
-    """Driver-side recovery: restore from checkpoints, recompute the rest."""
+    """Driver-side recovery: restore from checkpoints, recompute the rest.
+
+    ``checkpoint_blobs`` mixes whole-run blobs (barrier mode) and
+    per-chunk blobs (overlap mode) freely — every entry restores one or
+    more sub-domains, and whatever is missing is recomputed.  A rank that
+    died mid-exchange in overlap mode therefore only costs recomputing
+    the chunks it had not yet posted.
+    """
     pipeline = build_pipeline(config, spectrum)
     merged: Dict[int, CompressedField] = {}
-    for blob in checkpoints.values():
+    for blob in checkpoint_blobs:
         merged.update(checkpoint_from_bytes(blob))
     per_domain = recover_missing(
         merged, pipeline.decomposition, field, pipeline.local, pipeline.policy
@@ -177,7 +187,9 @@ def dist_run(
                 approx[decomp.subdomain(index).slices()] = block
         recovered = False
     else:
-        approx = _recover(config, field, spectrum, outcome.checkpoints)
+        approx = _recover(
+            config, field, spectrum, outcome.all_checkpoint_blobs()
+        )
         recovered = True
     elapsed = time.perf_counter() - t0
 
@@ -200,6 +212,10 @@ def dist_run(
         ),
         max_exchange_s=max(
             (r.exchange_s for r in outcome.results.values()), default=0.0
+        ),
+        max_exchange_hidden_s=max(
+            (r.exchange_hidden_s for r in outcome.results.values()),
+            default=0.0,
         ),
     )
 

@@ -15,7 +15,9 @@ and benchmark tooling reads both.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, Optional
 
 from repro.serve.metrics import DEFAULT_BYTE_BUCKETS, MetricsRegistry
 
@@ -36,21 +38,59 @@ class WireLedger:
     (header + payload) under ``sent.<category>.bytes`` /
     ``recv.<category>.bytes`` counters plus frame counts, and observed
     into a frame-size histogram.
+
+    The streamed exchange additionally attributes traffic to *overlap
+    windows*: inside a :meth:`window` context every frame is also counted
+    under ``window.<label>.sent.<category>.bytes`` (and the ``recv``
+    mirror), so Eq 6 accounting can be audited per in-flight chunk.  The
+    active window is **thread-local** — the stream's sender thread tags
+    its own frames without perturbing what the application or heartbeat
+    threads record — and window counters are strictly additive *extras*:
+    the category totals (``sent.exchange.bytes``, ...) are unchanged, and
+    the window counters for a category always sum to the portion of that
+    category recorded inside windows.
     """
 
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
+        self._window = threading.local()
+
+    @contextmanager
+    def window(self, label: str) -> Iterator[None]:
+        """Attribute frames recorded by this thread to overlap window ``label``."""
+        stack = getattr(self._window, "stack", None)
+        if stack is None:
+            stack = self._window.stack = []
+        stack.append(str(label))
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def _active_window(self) -> Optional[str]:
+        stack = getattr(self._window, "stack", None)
+        return stack[-1] if stack else None
 
     def record_send(self, category: str, nbytes: int) -> None:
         """Count one outgoing frame of ``nbytes`` total wire bytes."""
         self.metrics.counter(f"sent.{category}.frames").inc()
         self.metrics.counter(f"sent.{category}.bytes").inc(int(nbytes))
         self.metrics.observe("frame.bytes", float(nbytes), DEFAULT_BYTE_BUCKETS)
+        label = self._active_window()
+        if label is not None:
+            self.metrics.counter(f"window.{label}.sent.{category}.bytes").inc(
+                int(nbytes)
+            )
 
     def record_recv(self, category: str, nbytes: int) -> None:
         """Count one incoming frame of ``nbytes`` total wire bytes."""
         self.metrics.counter(f"recv.{category}.frames").inc()
         self.metrics.counter(f"recv.{category}.bytes").inc(int(nbytes))
+        label = self._active_window()
+        if label is not None:
+            self.metrics.counter(f"window.{label}.recv.{category}.bytes").inc(
+                int(nbytes)
+            )
 
     def bytes_sent(self, category: Optional[str] = None) -> int:
         """Total bytes sent, optionally restricted to one category."""
@@ -73,6 +113,29 @@ class WireLedger:
             for k, v in counters.items()
             if k.startswith(f"{direction}.") and k.endswith(f".{unit}")
         )
+
+    def window_bytes(
+        self, direction: str = "sent", category: Optional[str] = None
+    ) -> Dict[str, int]:
+        """Per-window byte totals: ``{window label: bytes}``.
+
+        ``direction`` is ``"sent"`` or ``"recv"``; ``category`` restricts
+        to one traffic category (all categories summed when ``None``).
+        The values sum to the bytes of that direction/category that were
+        recorded inside :meth:`window` contexts.
+        """
+        out: Dict[str, int] = {}
+        for name, value in self.metrics.snapshot()["counters"].items():
+            if not name.startswith("window.") or not name.endswith(".bytes"):
+                continue
+            label, _, rest = name[len("window.") :].rpartition(f".{direction}.")
+            if not label:
+                continue
+            cat = rest[: -len(".bytes")]
+            if category is not None and cat != category:
+                continue
+            out[label] = out.get(label, 0) + int(value)
+        return out
 
     def snapshot(self) -> dict:
         """JSON-safe snapshot (same schema as serve metrics snapshots)."""

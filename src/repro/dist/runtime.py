@@ -26,7 +26,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -45,8 +45,15 @@ class SpmdOutcome:
     """Everything the driver collected from one SPMD run."""
 
     results: Dict[int, RankResult] = dataclass_field(default_factory=dict)
-    #: checkpoint blobs posted by ranks before the exchange
+    #: whole-run checkpoint blobs posted by ranks before the barrier-mode
+    #: exchange
     checkpoints: Dict[int, bytes] = dataclass_field(default_factory=dict)
+    #: per-chunk checkpoint blobs posted by overlap-mode ranks as each
+    #: chunk completes (push order preserved) — the state that lets the
+    #: driver resume from a death mid-exchange
+    chunk_checkpoints: Dict[int, List[bytes]] = dataclass_field(
+        default_factory=dict
+    )
     #: failed ranks -> reason (empty on a clean run)
     failures: Dict[int, str] = dataclass_field(default_factory=dict)
 
@@ -54,6 +61,13 @@ class SpmdOutcome:
     def clean(self) -> bool:
         """True when every rank returned a result."""
         return not self.failures
+
+    def all_checkpoint_blobs(self) -> List[bytes]:
+        """Every posted checkpoint blob, whole-run and per-chunk alike."""
+        blobs = list(self.checkpoints.values())
+        for chunks in self.chunk_checkpoints.values():
+            blobs.extend(chunks)
+        return blobs
 
 
 def run_spmd(
@@ -80,6 +94,8 @@ def _run_local(
         with lock:
             if kind == "checkpoint":
                 outcome.checkpoints[rank] = payload
+            elif kind == "chunk":
+                outcome.chunk_checkpoints.setdefault(rank, []).append(payload)
 
     def run_rank(rank: int) -> None:
         comm = Communicator(
@@ -231,6 +247,10 @@ def _run_tcp(
                         kind, src, payload = conn.recv()
                         if kind == "checkpoint":
                             outcome.checkpoints[src] = payload
+                        elif kind == "chunk":
+                            outcome.chunk_checkpoints.setdefault(src, []).append(
+                                payload
+                            )
                         elif kind == "result":
                             outcome.results[src] = payload
                             pending.discard(rank)

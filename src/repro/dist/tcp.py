@@ -254,21 +254,21 @@ class TcpTransport(Transport):
         timeout: float,
         category: str = CATEGORY_DATA,
     ) -> Dict[int, Frame]:
-        """Threaded sends + multiplexed receives; immune to buffer deadlock."""
-        send_error: List[Exception] = []
+        """Windowed sends + multiplexed receives; immune to buffer deadlock.
 
-        def _send_all() -> None:
-            try:
-                for dst, frame in outgoing.items():
-                    self.send(dst, frame, category)
-            except Exception as exc:  # repro-lint: broad-except-ok(captured and re-raised after the receive loop drains)
-                send_error.append(exc)
-
-        sender = threading.Thread(target=_send_all, daemon=True)
-        sender.start()
+        The all-to-peers sends drain through a
+        :class:`~repro.dist.transport.SendWindow` pump thread while this
+        thread receives, so full kernel socket buffers can never deadlock
+        the collective, whatever the payload size.
+        """
+        window = self.send_window(window=1, name="exchange")
         got: Dict[int, Frame] = {}
         pending = set(expect)
         try:
+            if outgoing:
+                window.submit(
+                    [(dst, frame, category) for dst, frame in outgoing.items()]
+                )
             while pending:
                 frame = self.recv(timeout, category)
                 if frame.kind == FrameKind.HEARTBEAT:
@@ -283,10 +283,15 @@ class TcpTransport(Transport):
                 if frame.src in pending:
                     pending.discard(frame.src)
                     got[frame.src] = frame
-        finally:
-            sender.join(timeout=timeout)
-        if send_error:
-            raise send_error[0]
+        except BaseException:
+            # the receive-side failure is the primary error; still reap
+            # the pump so its thread never outlives the exchange
+            try:
+                window.close(timeout=timeout)
+            except (TransportError, RankFailure, CommunicationError):
+                pass
+            raise
+        window.close(timeout=timeout)
         return got
 
     def close(self) -> None:

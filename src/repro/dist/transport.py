@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import queue
 import threading
+import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.dist.ledger import CATEGORY_CONTROL, CATEGORY_DATA, WireLedger
@@ -75,11 +76,148 @@ class Transport(abc.ABC):
     def close(self) -> None:
         """Gracefully tear down (sends ``BYE`` to peers where applicable)."""
 
+    def send_window(self, window: int = 2, name: str = "stream") -> "SendWindow":
+        """Open a non-blocking send path with a bounded in-flight window.
+
+        Both transports' :meth:`send` are safe to call from a helper
+        thread concurrently with the owning thread's receives (the TCP
+        endpoint serializes writers per peer socket, the loopback endpoint
+        enqueues atomically), so the returned :class:`SendWindow` can
+        drain sends behind the caller's compute.
+        """
+        return SendWindow(self, window=window, name=name)
+
     def _check_peer(self, dst: int) -> None:
         if not 0 <= dst < self.size:
             raise CommunicationError(f"peer rank {dst} out of range [0, {self.size})")
         if dst == self.rank:
             raise CommunicationError(f"rank {self.rank} cannot send to itself")
+
+
+#: Queue sentinel asking a SendWindow's pump thread to exit.
+_WINDOW_CLOSE = object()
+
+
+class SendWindow:
+    """Bounded-in-flight asynchronous sends over one transport endpoint.
+
+    :meth:`submit` enqueues a batch of frames (one per destination) and
+    returns immediately; a pump thread performs the actual (possibly
+    blocking) ``transport.send`` calls.  At most ``window`` batches may be
+    queued — a full window makes :meth:`submit` block, which is the
+    backpressure that bounds memory: with the default ``window=2`` the
+    pipeline is double-buffered, one batch on the wire while the next is
+    being produced.
+
+    Each batch may carry a ledger window label; the pump wraps its sends
+    in :meth:`WireLedger.window` so wire bytes are attributed to the
+    overlap window that moved them.  Send failures (dead peer, torn-down
+    fabric) are captured and re-raised from the next :meth:`submit` or
+    from :meth:`close` — never swallowed.
+
+    The pump also records its active send spans (monotonic start/stop
+    pairs) so callers can measure how much wire time was hidden behind
+    compute.
+    """
+
+    def __init__(self, transport: Transport, window: int = 2, name: str = "stream"):
+        if window < 1:
+            raise CommunicationError(f"send window must be >= 1, got {window}")
+        self.transport = transport
+        self.name = name
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=window)
+        self._errors: List[Exception] = []
+        self._closed = False
+        #: (start, stop) monotonic spans during which the pump was sending
+        self.send_spans: List[Tuple[float, float]] = []
+        self._thread = threading.Thread(
+            target=self._pump,
+            name=f"repro-sendwindow-{name}-r{transport.rank}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _pump(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _WINDOW_CLOSE:
+                return
+            sends, label = item
+            t0 = time.perf_counter()
+            try:
+                if label is not None:
+                    with self.transport.ledger.window(label):
+                        for dst, frame, category in sends:
+                            self.transport.send(dst, frame, category)
+                else:
+                    for dst, frame, category in sends:
+                        self.transport.send(dst, frame, category)
+            except Exception as exc:  # noqa: BLE001  # repro-lint: broad-except-ok(pump boundary: every failure is re-raised to the submitting thread)
+                self._errors.append(exc)
+                return
+            finally:
+                self.send_spans.append((t0, time.perf_counter()))
+
+    def _raise_pending(self) -> None:
+        if self._errors:
+            raise self._errors[0]
+
+    def submit(
+        self,
+        sends: List[Tuple[int, Frame, str]],
+        label: Optional[str] = None,
+    ) -> None:
+        """Queue one batch of ``(dst, frame, category)`` sends.
+
+        Blocks while the in-flight window is full (backpressure).  Raises
+        the pump's captured error if a previous batch failed.
+        """
+        if self._closed:
+            raise CommunicationError(f"send window {self.name!r} already closed")
+        self._raise_pending()
+        while True:
+            if self._errors:
+                # the pump died after we checked: surface it rather than
+                # queueing into a window nobody will drain
+                self._raise_pending()
+            try:
+                self._queue.put((sends, label), timeout=0.25)
+                return
+            except queue.Full:
+                continue
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Flush queued batches, stop the pump, re-raise any send failure."""
+        if not self._closed:
+            self._closed = True
+            while self._thread.is_alive():
+                try:
+                    self._queue.put(_WINDOW_CLOSE, timeout=0.25)
+                    break
+                except queue.Full:
+                    continue  # pump still draining (or just died): re-check
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TransportError(
+                f"send window {self.name!r} failed to drain within "
+                f"{timeout}s (peer not receiving?)"
+            )
+        self._raise_pending()
+
+    def sent_seconds_before(self, t_monotonic: float) -> float:
+        """Total pump send time that elapsed before ``t_monotonic``.
+
+        This is the wire time hidden behind the caller's compute when
+        ``t_monotonic`` is the instant compute finished.
+        """
+        hidden = 0.0
+        for start, stop in list(self.send_spans):
+            hidden += max(0.0, min(stop, t_monotonic) - start)
+        return hidden
+
+    def sent_seconds_total(self) -> float:
+        """Total pump send time over the window's whole lifetime."""
+        return sum(stop - start for start, stop in list(self.send_spans))
 
 
 #: Queue sentinel marking abrupt end-of-stream from a rank.

@@ -47,7 +47,20 @@ from repro.octree.interpolate import reconstruct_box
 from repro.serve.loadgen import parse_policy
 
 #: Stages at which an injected failure can trigger (see ``DistConfig``).
-FAIL_STAGES = ("before_checkpoint", "before_exchange", "mid_exchange")
+#: The first three are the barrier-mode stages; the last three only fire
+#: in overlap mode, at the streaming pipeline's new interleaving points.
+FAIL_STAGES = (
+    "before_checkpoint",
+    "before_exchange",
+    "mid_exchange",
+    "post_chunk_checkpoint",
+    "stream_send",
+    "mid_window",
+)
+#: The stages that exist in both modes (barrier-style phase names).
+BARRIER_FAIL_STAGES = ("before_checkpoint", "before_exchange", "mid_exchange")
+#: The overlap-only members of :data:`FAIL_STAGES`.
+STREAM_FAIL_STAGES = ("post_chunk_checkpoint", "stream_send", "mid_window")
 
 
 @dataclass(frozen=True)
@@ -72,6 +85,10 @@ class DistConfig:
     seed: int = 0
     recv_timeout_s: float = 30.0
     heartbeat_s: Optional[float] = None
+    #: stream chunks into the exchange as they complete (overlap mode)
+    overlap: bool = False
+    #: bounded in-flight chunk window for the streamed exchange
+    window: int = 2
     fail_rank: Optional[int] = None
     fail_stage: Optional[str] = None
 
@@ -86,9 +103,19 @@ class DistConfig:
             raise ConfigurationError(
                 f"precision must be 'float64' or 'float32', got {self.precision!r}"
             )
+        if self.window < 1:
+            raise ConfigurationError(f"need window >= 1, got {self.window}")
         if self.fail_stage is not None and self.fail_stage not in FAIL_STAGES:
             raise ConfigurationError(
                 f"fail_stage must be one of {FAIL_STAGES}, got {self.fail_stage!r}"
+            )
+        if (
+            self.fail_stage in STREAM_FAIL_STAGES
+            and not self.overlap
+        ):
+            raise ConfigurationError(
+                f"fail_stage {self.fail_stage!r} only exists in overlap "
+                "mode (set overlap=True)"
             )
         if self.fail_rank is not None and not 0 <= self.fail_rank < self.num_ranks:
             raise ConfigurationError(
@@ -107,12 +134,24 @@ class RankResult:
     num_chunks: int
     total_samples: int
     compressed_bytes: int
-    #: serialized checkpoint blob size — the per-peer exchange payload
+    #: serialized checkpoint payload bytes shipped to *each* peer (one
+    #: blob in barrier mode, the per-chunk blobs summed in overlap mode)
     exchange_payload_bytes: int
     compute_s: float
+    #: time blocked in the exchange (the full allgather in barrier mode,
+    #: only the final drain in overlap mode)
     exchange_s: float
     #: this rank's :class:`~repro.dist.ledger.WireLedger` snapshot
     wire: dict = dataclass_field(default_factory=dict)
+    #: True when the streamed (overlap) exchange produced this result
+    overlap: bool = False
+    #: exchange DATA frames sent to each peer (chunks + end marker)
+    exchange_frames_per_peer: int = 1
+    #: send time the stream hid behind local compute (0 in barrier mode)
+    exchange_hidden_s: float = 0.0
+    #: total wire send time of the stream, hidden + visible (0 in
+    #: barrier mode, where sends are folded into ``exchange_s``)
+    exchange_send_s: float = 0.0
 
 
 def composite_field(n: int, seed: int = 0) -> np.ndarray:
@@ -201,50 +240,23 @@ def rank_main(
 
     pipeline = build_pipeline(config, spectrum)
 
-    # Phase 1: zero-communication local convolutions of this rank's share.
-    t0 = time.perf_counter()
-    own: List[Tuple[object, CompressedField]] = []
-    for sub in pipeline.decomposition:
-        if sub.index % size != rank:
-            continue
-        block = pipeline.decomposition.extract(field, sub)
-        if not np.any(block):
-            continue  # implicit sparsity, exactly as run_serial
-        own.append(
-            (
-                sub,
-                pipeline.local.convolve(
-                    block, sub.corner, pattern=pipeline._pattern(sub.corner)
-                ),
-            )
-        )
-    compute_s = time.perf_counter() - t0
+    if config.overlap:
+        phases = _streamed_phases(comm, config, pipeline, field, post, abort)
+    else:
+        phases = _barrier_phases(comm, config, pipeline, field, post, abort)
+    (
+        own,
+        merged,
+        compute_s,
+        exchange_s,
+        payload_bytes,
+        frames,
+        hidden_s,
+        send_s,
+    ) = phases
 
-    _maybe_fail(config, rank, "before_checkpoint", abort)
-
-    # Phase 2: checkpoint, then the ONE sparse exchange.
-    blob = checkpoint_to_bytes(own, precision=config.precision)
-    if post is not None:
-        post("checkpoint", rank, blob)
-
-    _maybe_fail(config, rank, "before_exchange", abort)
-    if config.fail_rank == rank and config.fail_stage == "mid_exchange":
-        # die half-way through the exchange: lower-ranked peers receive
-        # the payload, higher-ranked ones see an abrupt end-of-stream.
-        for dst in range(rank):
-            comm.send_payload(dst, blob, TAG_EXCHANGE, category=CATEGORY_EXCHANGE)
-        _maybe_fail(config, rank, "mid_exchange", abort)
-
-    t1 = time.perf_counter()
-    blobs = comm.sparse_allgather(blob, tag=TAG_EXCHANGE)
-    exchange_s = time.perf_counter() - t1
-
-    # Phase 3: accumulate over this rank's own sub-domain boxes, fields
-    # in sub-domain index order (the run_serial order — bitwise identity).
-    merged: Dict[int, CompressedField] = {}
-    for payload in blobs:
-        if payload:
-            merged.update(checkpoint_from_bytes(payload))
+    # Accumulate over this rank's own sub-domain boxes, fields in
+    # sub-domain index order (the run_serial order — bitwise identity).
     ordered = [merged[i] for i in sorted(merged)]
     kk = config.k
     blocks: Dict[int, np.ndarray] = {}
@@ -268,8 +280,158 @@ def rank_main(
         num_chunks=len(own),
         total_samples=sum(f.pattern.sample_count for _s, f in own),
         compressed_bytes=sum(f.nbytes for _s, f in own),
-        exchange_payload_bytes=len(blob),
+        exchange_payload_bytes=payload_bytes,
         compute_s=compute_s,
         exchange_s=exchange_s,
         wire=comm.transport.ledger.snapshot(),
+        overlap=config.overlap,
+        exchange_frames_per_peer=frames,
+        exchange_hidden_s=hidden_s,
+        exchange_send_s=send_s,
+    )
+
+
+def _own_subdomains(pipeline: LowCommConvolution3D, rank: int, size: int):
+    """This rank's round-robin share of the decomposition."""
+    return [sub for sub in pipeline.decomposition if sub.index % size == rank]
+
+
+def _convolve_chunk(
+    pipeline: LowCommConvolution3D, field: np.ndarray, sub
+) -> Optional[CompressedField]:
+    """One chunk's local convolution; ``None`` for all-zero blocks
+    (implicit sparsity, exactly as ``run_serial``)."""
+    block = pipeline.decomposition.extract(field, sub)
+    if not np.any(block):
+        return None
+    return pipeline.local.convolve(
+        block, sub.corner, pattern=pipeline._pattern(sub.corner)
+    )
+
+
+def _barrier_phases(
+    comm: Communicator,
+    config: DistConfig,
+    pipeline: LowCommConvolution3D,
+    field: np.ndarray,
+    post: Optional[Callable[[str, int, bytes], None]],
+    abort: Optional[Callable[[], None]],
+):
+    """Original phase structure: all compute, one checkpoint, ONE exchange."""
+    rank = comm.rank
+
+    # Phase 1: zero-communication local convolutions of this rank's share.
+    t0 = time.perf_counter()
+    own: List[Tuple[object, CompressedField]] = []
+    for sub in _own_subdomains(pipeline, rank, comm.size):
+        compressed = _convolve_chunk(pipeline, field, sub)
+        if compressed is not None:
+            own.append((sub, compressed))
+    compute_s = time.perf_counter() - t0
+
+    _maybe_fail(config, rank, "before_checkpoint", abort)
+
+    # Phase 2: checkpoint, then the ONE sparse exchange.
+    blob = checkpoint_to_bytes(own, precision=config.precision)
+    if post is not None:
+        post("checkpoint", rank, blob)
+
+    _maybe_fail(config, rank, "before_exchange", abort)
+    if config.fail_rank == rank and config.fail_stage == "mid_exchange":
+        # die half-way through the exchange: lower-ranked peers receive
+        # the payload, higher-ranked ones see an abrupt end-of-stream.
+        for dst in range(rank):
+            comm.send_payload(dst, blob, TAG_EXCHANGE, category=CATEGORY_EXCHANGE)
+        _maybe_fail(config, rank, "mid_exchange", abort)
+
+    t1 = time.perf_counter()
+    blobs = comm.sparse_allgather(blob, tag=TAG_EXCHANGE)
+    exchange_s = time.perf_counter() - t1
+
+    merged: Dict[int, CompressedField] = {}
+    for payload in blobs:
+        if payload:
+            merged.update(checkpoint_from_bytes(payload))
+    return own, merged, compute_s, exchange_s, len(blob), 1, 0.0, 0.0
+
+
+def _streamed_phases(
+    comm: Communicator,
+    config: DistConfig,
+    pipeline: LowCommConvolution3D,
+    field: np.ndarray,
+    post: Optional[Callable[[str, int, bytes], None]],
+    abort: Optional[Callable[[], None]],
+):
+    """Overlap mode: each finished chunk streams while the next computes.
+
+    Per completed chunk, in order: serialize to a single-entry checkpoint
+    blob, post it to the driver (per-chunk fault-tolerance state), push it
+    onto the streamed exchange's bounded send window.  Communication
+    therefore proceeds concurrently with the remaining chunks' compute;
+    only the final drain (:meth:`StreamedAllgather.finish`) still blocks.
+    """
+    rank = comm.rank
+    subs = _own_subdomains(pipeline, rank, comm.size)
+
+    _maybe_fail(config, rank, "before_checkpoint", abort)
+    stream = comm.sparse_allgather_stream(
+        tag=TAG_EXCHANGE, window=config.window
+    )
+    active = [
+        sub
+        for sub in subs
+        if np.any(pipeline.decomposition.extract(field, sub))
+    ]
+    mid_chunk = max(1, len(active) // 2)
+    own: List[Tuple[object, CompressedField]] = []
+    t0 = time.perf_counter()
+    for sub in active:
+        compressed = _convolve_chunk(pipeline, field, sub)
+        if compressed is None:
+            continue
+        own.append((sub, compressed))
+        chunk_blob = checkpoint_to_bytes(
+            [(sub, compressed)], precision=config.precision
+        )
+        if post is not None:
+            post("chunk", rank, chunk_blob)
+        if len(own) == 1:
+            # driver holds this chunk's checkpoint; peers never see it
+            _maybe_fail(config, rank, "post_chunk_checkpoint", abort)
+        stream.push(chunk_blob)
+        if len(own) == 1:
+            # first chunk is (at least partially) on the wire
+            _maybe_fail(config, rank, "stream_send", abort)
+        if len(own) == mid_chunk:
+            # die with the send window half-way through the chunk stream
+            _maybe_fail(config, rank, "mid_window", abort)
+    compute_end = time.perf_counter()
+    compute_s = compute_end - t0
+
+    _maybe_fail(config, rank, "before_exchange", abort)
+    _maybe_fail(config, rank, "mid_exchange", abort)
+
+    t1 = time.perf_counter()
+    per_rank_chunks = stream.finish()
+    exchange_s = time.perf_counter() - t1
+    hidden_s = stream.hidden_seconds(compute_end)
+    send_s = stream.send_seconds()
+
+    merged: Dict[int, CompressedField] = {}
+    for chunks in per_rank_chunks:
+        for payload in chunks:
+            merged.update(checkpoint_from_bytes(payload))
+    payload_bytes = sum(len(c) for c in per_rank_chunks[rank])
+    # each peer got every chunk frame plus the end-of-stream marker
+    frames = stream.chunks_pushed + 1
+    return (
+        own,
+        merged,
+        compute_s,
+        exchange_s,
+        payload_bytes,
+        frames,
+        hidden_s,
+        send_s,
     )

@@ -49,7 +49,13 @@ from repro.fft.pruned import (
     rslab_from_subcube,
     slab_from_subcube,
 )
-from repro.fft.pruned_plan import PlanCache, PrunedPlan, get_plan
+from repro.fft.pruned_plan import (
+    PlanCache,
+    PrunedPlan,
+    default_cache,
+    get_plan,
+    reset_default_cache,
+)
 from repro.fft.real import half_length, hermitian_weights, irfft1d, rfft1d
 from repro.fft.realconv import half_spectrum, half_spectrum_bytes, rfft_convolve
 
@@ -86,6 +92,8 @@ __all__ = [
     "PrunedPlan",
     "PlanCache",
     "get_plan",
+    "default_cache",
+    "reset_default_cache",
     "FFTPlan",
     "plan_fft3",
     "plan_pruned_conv",

@@ -222,3 +222,21 @@ def get_plan(
     return _DEFAULT_CACHE.get(
         n, coords_x, coords_y, coords_z, backend=backend, hermitian=hermitian
     )
+
+
+def default_cache() -> PlanCache:
+    """The process-wide cache behind :func:`get_plan`."""
+    return _DEFAULT_CACHE
+
+
+def reset_default_cache() -> PlanCache:
+    """Replace the process-wide default cache with a cold one.
+
+    Plans, scratch buffers, and the hit/miss counters all reset.  This is
+    the test-isolation hook: the suite's autouse fixture calls it so no
+    test ever observes plans (or cache metrics) warmed by another test.
+    Returns the fresh cache.
+    """
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = PlanCache()
+    return _DEFAULT_CACHE

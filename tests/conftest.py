@@ -1,11 +1,62 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+Two suite-wide behaviours live here besides the data fixtures:
+
+- **Singleton isolation** — the process-wide default
+  :class:`~repro.fft.pruned_plan.PlanCache` (plans, shared pad scratch,
+  and hit/miss metrics) is reset around every test by an autouse fixture,
+  so no test observes state warmed by another.  ``test_isolation.py``
+  regression-tests this.
+- **Seed-randomized ordering** — setting ``REPRO_TEST_SHUFFLE_SEED=<int>``
+  shuffles test order deterministically (no plugin needed), which is how
+  CI's tier-2 job surfaces hidden ordering assumptions.  The seed is
+  echoed in the run header and again after a failing run so any failure
+  is reproducible with the same seed.
+"""
 
 from __future__ import annotations
+
+import os
+import random
 
 import numpy as np
 import pytest
 
+from repro.fft.pruned_plan import reset_default_cache
 from repro.kernels.gaussian import GaussianKernel
+
+_SHUFFLE_ENV = "REPRO_TEST_SHUFFLE_SEED"
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = os.environ.get(_SHUFFLE_ENV)
+    if not seed:
+        return
+    random.Random(int(seed)).shuffle(items)
+
+
+def pytest_report_header(config):
+    seed = os.environ.get(_SHUFFLE_ENV)
+    if seed:
+        return f"repro: test order shuffled ({_SHUFFLE_ENV}={seed})"
+    return None
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    seed = os.environ.get(_SHUFFLE_ENV)
+    if seed and exitstatus != 0:
+        terminalreporter.write_line(
+            f"[repro] shuffled run failed — reproduce the order with "
+            f"{_SHUFFLE_ENV}={seed}"
+        )
+
+
+@pytest.fixture(autouse=True)
+def _cold_plan_cache():
+    """Every test starts and ends with a cold default plan cache."""
+    reset_default_cache()
+    yield
+    reset_default_cache()
 
 
 @pytest.fixture

@@ -120,6 +120,98 @@ class TestLocalFabricUnderLockwatch:
         assert report.blocking == [], report.witness()
 
 
+class TestStreamedExchangeUnderLockwatch:
+    """The overlap path adds a pump thread per rank (the bounded
+    :class:`~repro.dist.transport.SendWindow`) that holds transport send
+    locks while the rank's main thread keeps pushing — exactly the shape
+    where an ordering cycle between queue, ledger, and mailbox locks
+    would hide.  Drive it with uneven chunk counts per rank so the fast
+    ranks' end markers race the slow ranks' mid-stream chunks."""
+
+    def _expected(self, size):
+        return [
+            [bytes([src]) * 32] * (src + 1) for src in range(size)
+        ]
+
+    def _rank_body(self, comm, rank, barrier, gathered):
+        barrier.wait(timeout=10)
+        stream = comm.sparse_allgather_stream(tag=9, end_tag=11, window=2)
+        for _chunk in range(rank + 1):  # uneven: rank r pushes r+1 chunks
+            stream.push(bytes([rank]) * 32)
+        gathered[rank] = stream.finish(timeout=20)
+
+    def test_four_rank_streamed_exchange_is_clean(self):
+        with lockwatch() as watcher:
+            fabric = LocalFabric(4)
+            comms = [
+                Communicator(fabric.endpoint(r), recv_timeout_s=20)
+                for r in range(4)
+            ]
+            for _round in range(ROUNDS):
+                barrier = threading.Barrier(4)
+                gathered = [None] * 4
+                threads = [
+                    threading.Thread(
+                        target=self._rank_body,
+                        args=(comms[r], r, barrier, gathered),
+                        name=f"stream-rank-{r}",
+                    )
+                    for r in range(4)
+                ]
+                for t in threads:
+                    t.start()
+                _join_all(threads)
+                for rank in range(4):
+                    assert gathered[rank] == self._expected(4)
+            for comm in comms:
+                comm.close()
+        report = watcher.report()
+        assert report.cycles == [], report.witness()
+        assert report.blocking == [], report.witness()
+
+    def test_live_tcp_streamed_exchange_is_clean(self):
+        with lockwatch() as watcher:
+            listeners, ports = [], []
+            for _ in range(2):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.bind(("127.0.0.1", 0))
+                sock.listen(2)
+                listeners.append(sock)
+                ports.append(sock.getsockname()[1])
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                futures = [
+                    pool.submit(TcpTransport, rank, 2, ports, listeners[rank])
+                    for rank in range(2)
+                ]
+                transports = [f.result(timeout=20) for f in futures]
+            try:
+                comms = [
+                    Communicator(t, recv_timeout_s=20) for t in transports
+                ]
+                for _round in range(ROUNDS):
+                    barrier = threading.Barrier(2)
+                    gathered = [None] * 2
+                    threads = [
+                        threading.Thread(
+                            target=self._rank_body,
+                            args=(comms[r], r, barrier, gathered),
+                            name=f"tcp-stream-rank-{r}",
+                        )
+                        for r in range(2)
+                    ]
+                    for t in threads:
+                        t.start()
+                    _join_all(threads)
+                    for rank in range(2):
+                        assert gathered[rank] == self._expected(2)
+            finally:
+                for t in transports:
+                    t.close()
+        report = watcher.report()
+        assert report.cycles == [], report.witness()
+        assert report.blocking == [], report.witness()
+
+
 class TestTcpUnderLockwatch:
     def test_tcp_exchange_is_cycle_free(self):
         with lockwatch() as watcher:

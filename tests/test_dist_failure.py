@@ -13,11 +13,13 @@ import pytest
 
 from repro.dist.launcher import default_spectrum, dist_run
 from repro.dist.worker import (
-    FAIL_STAGES,
+    BARRIER_FAIL_STAGES,
+    STREAM_FAIL_STAGES,
     DistConfig,
     build_pipeline,
     composite_field,
 )
+from repro.errors import ConfigurationError
 
 SMALL = dict(n=16, k=4, sigma=2.0, policy="flat:2")
 
@@ -39,7 +41,7 @@ def _assert_recovers_bitwise(config):
 
 
 class TestLocalRecovery:
-    @pytest.mark.parametrize("stage", FAIL_STAGES)
+    @pytest.mark.parametrize("stage", BARRIER_FAIL_STAGES)
     def test_stage_crash_recovers_bitwise(self, stage):
         config = DistConfig(
             num_ranks=3,
@@ -88,6 +90,85 @@ class TestTcpRecovery:
             **SMALL,
         )
         _assert_recovers_bitwise(config)
+
+
+class TestStreamedRecovery:
+    """Fault injection at the overlap-mode pipeline's new interleavings.
+
+    ``stream_send`` dies with the first chunk (at least partially) on the
+    wire, ``mid_window`` with the send window half-way through the chunk
+    stream, ``post_chunk_checkpoint`` after the driver holds a chunk the
+    peers never saw.  Whatever the stage, recovery must rebuild a
+    bitwise-identical result from the per-chunk checkpoint blobs.
+    """
+
+    @pytest.mark.parametrize("stage", STREAM_FAIL_STAGES)
+    def test_local_stream_crash_recovers_bitwise(self, stage):
+        config = DistConfig(
+            num_ranks=3,
+            transport="local",
+            overlap=True,
+            fail_rank=1,
+            fail_stage=stage,
+            **SMALL,
+        )
+        _assert_recovers_bitwise(config)
+
+    @pytest.mark.parametrize("stage", STREAM_FAIL_STAGES)
+    def test_tcp_stream_crash_recovers_bitwise(self, stage):
+        config = DistConfig(
+            num_ranks=3,
+            transport="tcp",
+            overlap=True,
+            fail_rank=1,
+            fail_stage=stage,
+            **SMALL,
+        )
+        _assert_recovers_bitwise(config)
+
+    def test_posted_chunks_survive_as_recovery_state(self):
+        """A rank dying mid-window has already posted some chunk
+        checkpoints — the driver resumes from them instead of
+        recomputing everything the dead rank did."""
+        from repro.dist.runtime import run_spmd
+
+        config = DistConfig(
+            num_ranks=2,
+            transport="local",
+            overlap=True,
+            fail_rank=1,
+            fail_stage="mid_window",
+            **SMALL,
+        )
+        field = composite_field(config.n, config.seed)
+        spectrum = default_spectrum(config)
+        outcome = run_spmd(config, field, spectrum)
+        assert 1 in outcome.failures
+        # the dead rank posted per-chunk blobs before dying mid-window
+        assert len(outcome.chunk_checkpoints.get(1, [])) >= 1
+        # and each posted blob is a valid one-entry checkpoint
+        from repro.core.checkpoint import checkpoint_from_bytes
+
+        for blob in outcome.all_checkpoint_blobs():
+            assert len(checkpoint_from_bytes(blob)) == 1
+
+    def test_barrier_stages_still_work_with_overlap(self):
+        """The legacy stage names also fire in overlap mode."""
+        config = DistConfig(
+            num_ranks=2,
+            transport="local",
+            overlap=True,
+            fail_rank=1,
+            fail_stage="before_exchange",
+            **SMALL,
+        )
+        _assert_recovers_bitwise(config)
+
+    def test_stream_stage_requires_overlap_mode(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            DistConfig(
+                num_ranks=2, fail_rank=1, fail_stage="stream_send", **SMALL
+            )
 
 
 class TestHeartbeatedRun:

@@ -1,0 +1,191 @@
+"""Streamed (overlap) exchange: equivalence, accounting, and windows.
+
+The streaming exchange reorders almost everything about how bytes move —
+per-chunk frames instead of one blob, sends racing compute on a pump
+thread, an end-of-stream marker per peer — so the test obligations are:
+
+- **Equivalence**: for seeded sweeps over rank counts, chunk counts
+  (grid sizes) and payload sizes (sampling policies), the streamed
+  result is bitwise equal to barrier mode and to ``run_serial``.
+- **Eq 6 accounting still holds**: the measured exchange wire bytes obey
+  the *exact* frame-level invariant in both modes (payload bytes plus a
+  header per frame, ``P-1`` copies of each), the streamed mode's extra
+  framing stays within 1% of the Eq 6 value-byte prediction at the
+  calibrated reference shape, and the per-overlap-window ledger counters
+  sum exactly to the category totals (no byte unattributed, none counted
+  twice).
+- **Streaming actually streams**: chunk frames per peer equal the chunk
+  count plus the end marker, and the barrier mode still sends exactly
+  one frame per peer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.launcher import default_spectrum, dist_run
+from repro.dist.wire import HEADER_BYTES
+from repro.dist.worker import DistConfig, build_pipeline, composite_field
+
+#: calibrated reference shape for ratio bounds (see test_dist_runtime)
+REFERENCE = dict(n=32, k=8, sigma=2.0, policy="flat:2")
+
+_serial_memo: dict = {}
+
+
+def _serial(config: DistConfig):
+    key = (config.n, config.k, config.sigma, config.policy, config.seed)
+    if key not in _serial_memo:
+        field = composite_field(config.n, config.seed)
+        spectrum = default_spectrum(config)
+        serial = build_pipeline(config, spectrum).run_serial(field)
+        _serial_memo[key] = (field, spectrum, serial)
+    return _serial_memo[key]
+
+
+def _exact_wire_bytes(report) -> int:
+    """The frame-level invariant: every payload byte plus a header per
+    frame, shipped to each of the P-1 peers."""
+    p = report.config.num_ranks
+    return sum(
+        (p - 1)
+        * (r.exchange_payload_bytes + r.exchange_frames_per_peer * HEADER_BYTES)
+        for r in report.rank_results.values()
+    )
+
+
+def _check_equivalence_and_accounting(config_kwargs: dict) -> None:
+    barrier = DistConfig(overlap=False, **config_kwargs)
+    streamed = DistConfig(overlap=True, **config_kwargs)
+    field, spectrum, serial = _serial(barrier)
+
+    rep_b = dist_run(barrier, field=field, spectrum=spectrum)
+    rep_s = dist_run(streamed, field=field, spectrum=spectrum)
+    assert rep_b.failed_ranks == [] and rep_s.failed_ranks == []
+
+    # bitwise: streamed == barrier == run_serial
+    assert np.array_equal(rep_s.approx, serial.approx)
+    assert np.array_equal(rep_b.approx, serial.approx)
+
+    # both modes ship identical value payloads (framing differs)
+    assert rep_s.predicted_value_bytes == rep_b.predicted_value_bytes
+    for rank, rs in rep_s.rank_results.items():
+        rb = rep_b.rank_results[rank]
+        assert rs.num_chunks == rb.num_chunks
+        assert rs.total_samples == rb.total_samples
+        assert rs.overlap and not rb.overlap
+        # streamed: one frame per chunk plus the end marker; barrier: one
+        assert rs.exchange_frames_per_peer == rs.num_chunks + 1
+        assert rb.exchange_frames_per_peer == 1
+
+    # exact Eq 6 frame accounting in BOTH modes
+    assert rep_b.exchange_wire_bytes == _exact_wire_bytes(rep_b)
+    assert rep_s.exchange_wire_bytes == _exact_wire_bytes(rep_s)
+    assert (
+        rep_s.wire_totals.get("recv.exchange.bytes", 0)
+        == rep_s.exchange_wire_bytes
+    )
+
+    # every streamed exchange byte is attributed to exactly one overlap
+    # window: the per-window counters sum to the category totals
+    for rank, rs in rep_s.rank_results.items():
+        counters = rs.wire["counters"]
+        window_sent = sum(
+            v
+            for name, v in counters.items()
+            if name.startswith("window.") and ".sent.exchange." in name
+        )
+        assert window_sent == counters.get("sent.exchange.bytes", 0)
+
+
+# Seeded hypothesis-style sweep: rank counts x grid sizes (chunk counts:
+# 8 vs 64 sub-domains) x sampling policies (payload sizes) x input seeds.
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    ranks=st.sampled_from([1, 2, 4]),
+    n=st.sampled_from([8, 16]),
+    policy=st.sampled_from(["flat:1", "flat:2", "banded"]),
+    seed=st.integers(min_value=0, max_value=3),
+    window=st.sampled_from([1, 2, 4]),
+)
+def test_streamed_equals_barrier_equals_serial_local(
+    ranks, n, policy, seed, window
+):
+    _check_equivalence_and_accounting(
+        dict(
+            n=n,
+            k=4,
+            sigma=2.0,
+            policy=policy,
+            seed=seed,
+            num_ranks=ranks,
+            transport="local",
+            window=window,
+        )
+    )
+
+
+@pytest.mark.parametrize("ranks", [2, 4])
+def test_streamed_equals_serial_tcp(ranks):
+    _check_equivalence_and_accounting(
+        dict(
+            n=16,
+            k=4,
+            sigma=2.0,
+            policy="flat:2",
+            num_ranks=ranks,
+            transport="tcp",
+        )
+    )
+
+
+def test_reference_shape_ratio_within_1pct_of_barrier():
+    """At the calibrated reference shape the streamed mode's extra
+    framing (per-chunk headers + checkpoint preambles + end markers)
+    costs < 1% of the Eq 6 value-byte prediction, and both modes stay
+    within the repo's 5%-of-Eq-6 acceptance band."""
+    base = dict(num_ranks=4, transport="local", **REFERENCE)
+    field, spectrum, _serial_res = _serial(DistConfig(**base))
+    rep_b = dist_run(DistConfig(overlap=False, **base), field=field, spectrum=spectrum)
+    rep_s = dist_run(DistConfig(overlap=True, **base), field=field, spectrum=spectrum)
+    assert 1.0 <= rep_b.wire_over_model <= 1.05
+    assert 1.0 <= rep_s.wire_over_model <= 1.05
+    assert rep_s.wire_over_model - rep_b.wire_over_model < 0.01
+
+
+def test_zero_field_streams_nothing_but_end_markers():
+    config = DistConfig(
+        n=16, k=4, num_ranks=2, transport="local", overlap=True
+    )
+    field = np.zeros((16, 16, 16))
+    spectrum = default_spectrum(config)
+    report = dist_run(config, field=field, spectrum=spectrum)
+    assert np.array_equal(report.approx, np.zeros((16, 16, 16)))
+    for r in report.rank_results.values():
+        assert r.num_chunks == 0
+        assert r.exchange_payload_bytes == 0
+        assert r.exchange_frames_per_peer == 1  # just the end marker
+    assert report.exchange_wire_bytes == 2 * HEADER_BYTES  # 2 ranks x 1 peer
+
+
+def test_window_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="window"):
+        DistConfig(n=16, k=4, window=0)
+
+
+def test_streamed_hidden_time_reported():
+    """Overlap mode reports send time hidden behind compute; barrier
+    mode reports exactly zero."""
+    base = dict(n=16, k=4, num_ranks=2, transport="local")
+    field, spectrum, _ = _serial(DistConfig(**base))
+    rep_b = dist_run(DistConfig(overlap=False, **base), field=field, spectrum=spectrum)
+    rep_s = dist_run(DistConfig(overlap=True, **base), field=field, spectrum=spectrum)
+    assert rep_b.max_exchange_hidden_s == 0.0
+    assert rep_s.max_exchange_hidden_s >= 0.0
+    for r in rep_s.rank_results.values():
+        assert r.exchange_hidden_s <= r.compute_s + 1e-6
