@@ -14,6 +14,14 @@ runs each, and writes ``BENCH_dist.json`` at the repository root with the
 measured exchange wire bytes, the exact Eq 6 value-byte prediction, and
 their ratio (the acceptance bar is ratio <= 1.05 at this configuration).
 
+Zero-copy accounting columns: every configuration records the per-rank
+:class:`~repro.dist.copytrack.CopyLedger` totals (``copied_wire_bytes``
+must be 0 on the TCP transport for float64 — the data plane's counted
+invariant; loopback rank threads share one process ledger, so their
+totals overlap), and a ``serialization`` section reports the codec's
+encode throughput and bytes-copied-per-field at this shape (the deep
+version of that measurement lives in ``bench_serialize.py``).
+
 With ``--overlap`` the sweep additionally runs every configuration in
 streamed (overlap) mode — an on/off A/B — and records per-config
 ``exchange_hidden_s`` / ``exchange_send_s`` / ``hidden_frac``: the wire
@@ -43,6 +51,10 @@ import numpy as np
 
 from repro.dist.launcher import default_spectrum, dist_run, simulated_crosscheck
 from repro.dist.worker import DistConfig, build_pipeline, composite_field
+from repro.octree.compress import CompressedField
+from repro.octree.sampling import build_flat_pattern
+from repro.octree.serialize import serialize_compressed, serialize_segments
+from repro.util import copytrack
 
 N, K, SIGMA, POLICY, REPEATS, SEED = 32, 8, 2.0, "flat:2", 3, 0
 RANK_COUNTS = (1, 2, 4)
@@ -91,6 +103,49 @@ def _hidden_stats(reports) -> dict:
     return median
 
 
+def _copy_columns(report) -> dict:
+    """Summed per-rank copy-ledger columns for one run's report."""
+    ranks = report.rank_results.values()
+    return {
+        "copied_wire_bytes": sum(
+            r.copies.get("wire_bytes", 0) for r in ranks
+        ),
+        "copied_total_bytes": sum(
+            r.copies.get("total_bytes", 0) for r in ranks
+        ),
+    }
+
+
+def _serialization_section() -> dict:
+    """Codec throughput + bytes-copied-per-field at the bench shape."""
+    pattern = build_flat_pattern(N, K, (8, 8, 8), r=2)
+    rng = np.random.default_rng(SEED)
+    field = CompressedField.from_dense(
+        rng.standard_normal((N, N, N)), pattern
+    )
+    size = len(serialize_compressed(field))
+    iters = 500
+    section = {"payload_bytes": size}
+    for name, fn in (
+        ("segments", lambda: serialize_segments(field)),
+        ("contiguous", lambda: serialize_compressed(field)),
+    ):
+        fn()  # warm the pattern's metadata cache outside the clock
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        elapsed = time.perf_counter() - t0
+        copytrack.reset()
+        fn()
+        copied = copytrack.ledger().snapshot()["total_bytes"]
+        copytrack.reset()
+        section[name] = {
+            "encode_mb_per_s": size * iters / elapsed / 1e6,
+            "bytes_copied_per_field": copied,
+        }
+    return section
+
+
 def main(overlap: bool = False) -> dict:
     base = DistConfig(n=N, k=K, sigma=SIGMA, policy=POLICY, seed=SEED)
     field = composite_field(N, SEED)
@@ -127,6 +182,7 @@ def main(overlap: bool = False) -> dict:
                     "max_compute_s": report.max_compute_s,
                     "max_exchange_s": report.max_exchange_s,
                     "bitwise_vs_serial": True,
+                    **_copy_columns(report),
                 }
                 extra = ""
                 if streamed:
@@ -161,6 +217,7 @@ def main(overlap: bool = False) -> dict:
         "workers_used": max(RANK_COUNTS),
         "python": platform.python_version(),
         "results": results,
+        "serialization": _serialization_section(),
         "speedup": {
             "tcp_p4_vs_p1": results["tcp_p1"]["median_s"]
             / results["tcp_p4"]["median_s"],

@@ -1,0 +1,158 @@
+"""Serialization microbenchmark: encode/decode MB/s + bytes copied per field.
+
+Standalone script (not a pytest module): measures the codec at the dist
+reference sub-domain shape (n=32, k=8, flat:2) —
+
+- **encode**: zero-copy segment emission (:func:`serialize_segments`)
+  vs the legacy contiguous encoder (:func:`serialize_compressed`), and
+  the float32 downcast path;
+- **decode**: zero-copy aliasing decode (:func:`deserialize_compressed`)
+  vs decoding into a preallocated arena (:func:`deserialize_into`);
+- **bytes copied per field** at each :mod:`repro.util.copytrack` site —
+  the segment paths must report exactly zero for float64.
+
+Writes ``BENCH_serialize.json`` at the repository root (uploaded as a CI
+artifact alongside the other bench reports).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serialize.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.octree.compress import CompressedField
+from repro.octree.sampling import build_flat_pattern
+from repro.octree.serialize import (
+    deserialize_compressed,
+    deserialize_into,
+    serialize_compressed,
+    serialize_segments,
+)
+from repro.util import copytrack
+
+N, K, RATE, SEED = 32, 8, 2, 0
+ENCODE_ITERS, DECODE_ITERS = 2000, 500
+
+
+def _reference_field() -> CompressedField:
+    pattern = build_flat_pattern(N, K, (8, 8, 8), r=RATE)
+    rng = np.random.default_rng(SEED)
+    dense = rng.standard_normal((N, N, N))
+    return CompressedField.from_dense(dense, pattern)
+
+
+def _timed(fn, iters: int) -> float:
+    fn()  # warm caches (pattern metadata, slabs) outside the clock
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return time.perf_counter() - t0
+
+
+def _copies_per_call(fn) -> dict:
+    """Per-site bytes one call copies (isolated global-ledger window)."""
+    copytrack.reset()
+    fn()
+    snap = copytrack.ledger().snapshot()
+    copytrack.reset()
+    return {
+        "total_bytes": snap["total_bytes"],
+        "wire_bytes": snap["wire_bytes"],
+        "sites": {s: v["bytes"] for s, v in snap["sites"].items()},
+    }
+
+
+def _bench(name: str, fn, iters: int, payload_bytes: int) -> dict:
+    elapsed = _timed(fn, iters)
+    entry = {
+        "mb_per_s": payload_bytes * iters / elapsed / 1e6,
+        "per_call_us": elapsed / iters * 1e6,
+        "payload_bytes": payload_bytes,
+        "copies": _copies_per_call(fn),
+    }
+    print(
+        f"{name:28s} {entry['mb_per_s']:9.1f} MB/s  "
+        f"{entry['per_call_us']:8.1f} us/call  "
+        f"copied {entry['copies']['total_bytes']:>8d} B/field"
+    )
+    return entry
+
+
+def main() -> dict:
+    field = _reference_field()
+    payload = serialize_compressed(field)
+    payload32 = serialize_compressed(field, precision="float32")
+    size, size32 = len(payload), len(payload32)
+    m = field.pattern.sample_count
+    arena = np.empty(m, dtype=np.float64)
+
+    results = {
+        "encode_segments": _bench(
+            "encode segments f64", lambda: serialize_segments(field),
+            ENCODE_ITERS, size,
+        ),
+        "encode_contiguous": _bench(
+            "encode contiguous f64", lambda: serialize_compressed(field),
+            ENCODE_ITERS, size,
+        ),
+        "encode_segments_float32": _bench(
+            "encode segments f32",
+            lambda: serialize_segments(field, precision="float32"),
+            ENCODE_ITERS, size32,
+        ),
+        "decode_zero_copy": _bench(
+            "decode zero-copy f64", lambda: deserialize_compressed(payload),
+            DECODE_ITERS, size,
+        ),
+        "decode_into_arena": _bench(
+            "decode into arena", lambda: deserialize_into(payload, arena),
+            DECODE_ITERS, size,
+        ),
+        "decode_float32": _bench(
+            "decode f32 promote", lambda: deserialize_compressed(payload32),
+            DECODE_ITERS, size32,
+        ),
+    }
+
+    # the tentpole invariant, asserted where the numbers are produced
+    assert results["encode_segments"]["copies"]["total_bytes"] == 0
+    assert results["decode_zero_copy"]["copies"]["total_bytes"] == 0
+
+    report = {
+        "bench": "serialize",
+        "n": N,
+        "k": K,
+        "rate": RATE,
+        "sample_count": m,
+        "payload_bytes": size,
+        "payload_bytes_float32": size32,
+        "encode_iters": ENCODE_ITERS,
+        "decode_iters": DECODE_ITERS,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "results": results,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_serialize.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    speedup = (
+        results["encode_segments"]["mb_per_s"]
+        / results["encode_contiguous"]["mb_per_s"]
+    )
+    print(
+        f"\nsegment encode is {speedup:.1f}x the contiguous encoder; "
+        f"report written to {out}"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Rule registry for the repro lint framework.
 
-Seven codebase-specific rules generic linters cannot express:
+Eight codebase-specific rules generic linters cannot express:
 
 ========  ==============================================================
 LCK001    static lock-acquisition ordering graph must be acyclic
@@ -8,6 +8,7 @@ LCK002    no blocking syscalls while holding a (non-I/O) lock
 EXC001    broad ``except`` on transport/rank paths keeps failures typed
 CLK001    serving layer reads time only through the injectable Clock
 WIRE001   wire-format constants are defined once, imported elsewhere
+WIRE002   no bytes(view) / b''.join copies on data-plane hot paths
 API001    public names and ``__all__`` stay in sync
 NDA001    docstring dtype/shape contracts match the returned value
 ========  ==============================================================
@@ -27,7 +28,7 @@ from repro.analysis.rules.clock import InjectableClockRule
 from repro.analysis.rules.exceptions import BroadExceptRule
 from repro.analysis.rules.locks import LockHeldBlockingRule, LockOrderRule
 from repro.analysis.rules.numpy_contracts import NumpyContractRule
-from repro.analysis.rules.wire import WireConstantRule
+from repro.analysis.rules.wire import WireConstantRule, WireCopyRule
 
 __all__ = [
     "Rule",
@@ -37,6 +38,7 @@ __all__ = [
     "BroadExceptRule",
     "InjectableClockRule",
     "WireConstantRule",
+    "WireCopyRule",
     "ExportHygieneRule",
     "NumpyContractRule",
     "default_rules",
@@ -49,6 +51,7 @@ _ALL_RULES: List[Type[Rule]] = [
     BroadExceptRule,
     InjectableClockRule,
     WireConstantRule,
+    WireCopyRule,
     ExportHygieneRule,
     NumpyContractRule,
 ]

@@ -1,4 +1,6 @@
-"""WIRE001: wire-format constants duplicated outside their home module.
+"""WIRE001/WIRE002: wire-format hygiene rules.
+
+WIRE001 — wire-format constants duplicated outside their home module.
 
 The byte-level protocols each have exactly one home: the frame codec in
 ``dist/wire.py`` (magic ``b"LCDF"``, the 20-byte header format) and the
@@ -17,6 +19,20 @@ literals assigned to ``*MAGIC*`` names.  A built-in seed of the known
 repro constants is always active, so linting ``tests/`` alone still
 catches a hand-typed ``b"LCDF"``.  After the last file, any occurrence
 of a canonical literal in a non-canonical file is reported.
+
+WIRE002 — no buffer materialization on the data-plane hot paths.
+
+The zero-copy data plane's whole premise is that a field's bytes are
+touched once on send (the socket reads the segments) and once on
+receive (``recv_into`` the arena).  A ``bytes(view)`` call or a
+``b"".join([...])`` on those paths silently reintroduces the copy the
+refactor removed, and nothing fails — throughput just quietly regresses.
+WIRE002 flags both constructs inside ``dist/`` modules and any
+``serialize.py``.  Sanctioned joins go through
+:func:`repro.util.copytrack.measured_join`, which both concentrates the
+copies in one audited function and records them on the
+:class:`~repro.util.copytrack.CopyLedger`; genuinely cold paths can
+carry an inline ``# repro-lint: disable=WIRE002``.
 """
 
 from __future__ import annotations
@@ -37,6 +53,10 @@ BUILTIN_CANONICAL: Dict[Union[bytes, str, int], str] = {
     "<4sBBhiq": "repro/dist/wire.py (frame header format)",
     0x4C433344: "repro/octree/serialize.py (_MAGIC)",
 }
+
+#: Directory components / basenames that form the zero-copy data plane.
+HOT_PATH_DIRS = frozenset({"dist"})
+HOT_PATH_BASENAMES = frozenset({"serialize.py"})
 
 _STRUCT_FUNCS = frozenset(
     {"Struct", "pack", "unpack", "unpack_from", "pack_into", "calcsize"}
@@ -163,4 +183,78 @@ class WireConstantRule(Rule):
                     ),
                 )
             )
+        return findings
+
+
+def _is_hot_path(ctx: FileContext) -> bool:
+    """True for files on the zero-copy data plane (``dist/``, serialize)."""
+    return ctx.parts[-1] in HOT_PATH_BASENAMES or any(
+        part in HOT_PATH_DIRS for part in ctx.parts[:-1]
+    )
+
+
+class WireCopyRule(Rule):
+    """WIRE002: no buffer materialization on data-plane hot paths.
+
+    Flags, inside ``dist/`` modules and any ``serialize.py``:
+
+    - ``bytes(x)`` with one non-literal argument — materializes a full
+      copy of a memoryview/bytearray the data plane worked to avoid;
+    - ``b"...".join(...)`` — concatenates payload segments that should
+      ride the scatter-gather path (or an audited
+      ``copytrack.measured_join``).
+
+    ``bytes()``, ``bytes(7)`` and ``bytes("s", "utf8")`` are allocations,
+    not copies, and stay silent.  Genuinely cold call sites suppress with
+    an inline ``# repro-lint: disable=WIRE002``.
+    """
+
+    rule_id = "WIRE002"
+    description = "no bytes(view) / b''.join copies on data-plane hot paths"
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Flag copy-materializing calls in data-plane files."""
+        if not _is_hot_path(ctx):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "bytes"
+                and len(node.args) == 1
+                and not node.keywords
+                and not (
+                    isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, (int, str, bytes))
+                )
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "bytes(...) on a data-plane hot path materializes a "
+                        "full copy of the buffer — keep the memoryview, or "
+                        "route a required flatten through "
+                        "copytrack.measured_join so the CopyLedger sees it",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and isinstance(func.value, ast.Constant)
+                and isinstance(func.value.value, bytes)
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "bytes join on a data-plane hot path concatenates "
+                        "payload segments — ship a wire.Segments list "
+                        "scatter-gather instead, or use "
+                        "copytrack.measured_join for an audited join",
+                    )
+                )
         return findings

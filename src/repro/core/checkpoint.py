@@ -11,17 +11,52 @@ records, one per (sub-domain index, field).
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.decomposition import SubDomain
 from repro.errors import ConfigurationError
 from repro.octree.compress import CompressedField
-from repro.octree.serialize import deserialize_compressed, serialize_compressed
+from repro.octree.serialize import deserialize_compressed, serialize_segments
+from repro.util import copytrack
 
 _CHECKPOINT_MAGIC = b"LC3DCKPT"
 _ENTRY_HEADER = struct.Struct("<qq")  # (subdomain index, payload length)
+
+Blob = Union[bytes, bytearray, memoryview]
+
+
+def checkpoint_segments(
+    fields: Sequence[Tuple[SubDomain, CompressedField]],
+    precision: str = "float64",
+) -> List[Blob]:
+    """Pack (sub-domain, compressed result) pairs as zero-copy segments.
+
+    The returned list interleaves the container framing (magic, count,
+    per-entry headers — a few dozen fresh bytes) with the fields'
+    :func:`~repro.octree.serialize.serialize_segments` views, which alias
+    the fields' own buffers.  Feed it to
+    :class:`repro.dist.wire.Segments` for the exchange, or to
+    :func:`join_checkpoint_segments` when one contiguous blob is needed.
+    """
+    parts: List[Blob] = [_CHECKPOINT_MAGIC, struct.pack("<q", len(fields))]
+    for sub, field in fields:
+        segments = serialize_segments(field, precision=precision)
+        length = sum(s.nbytes for s in segments)
+        parts.append(_ENTRY_HEADER.pack(sub.index, length))
+        parts.extend(segments)
+    return parts
+
+
+def join_checkpoint_segments(parts: Sequence[Blob]) -> bytes:
+    """Flatten checkpoint segments to one ``bytes`` (counted join).
+
+    The driver's fault-tolerance mailbox needs a contiguous blob (it
+    crosses a multiprocessing pipe); the wire path does not and ships the
+    segments directly.
+    """
+    return copytrack.measured_join(parts, site=copytrack.SITE_CHECKPOINT_JOIN)
 
 
 def checkpoint_to_bytes(
@@ -29,16 +64,15 @@ def checkpoint_to_bytes(
     precision: str = "float64",
 ) -> bytes:
     """Pack (sub-domain, compressed result) pairs into one checkpoint blob."""
-    parts: List[bytes] = [_CHECKPOINT_MAGIC, struct.pack("<q", len(fields))]
-    for sub, field in fields:
-        payload = serialize_compressed(field, precision=precision)
-        parts.append(_ENTRY_HEADER.pack(sub.index, len(payload)))
-        parts.append(payload)
-    return b"".join(parts)
+    return join_checkpoint_segments(checkpoint_segments(fields, precision))
 
 
-def checkpoint_from_bytes(blob: bytes) -> Dict[int, CompressedField]:
+def checkpoint_from_bytes(blob: Blob) -> Dict[int, CompressedField]:
     """Unpack a checkpoint blob into ``{sub-domain index: field}``.
+
+    Accepts any bytes-like blob (``bytes`` or a ``memoryview`` over a
+    receive arena) and decodes each entry from a zero-copy slice — entry
+    values alias the blob, which must stay alive with the result.
 
     Hardened against truncated or corrupt blobs: every failure mode —
     short reads, negative counts/lengths, duplicate indices, undecodable
@@ -46,7 +80,10 @@ def checkpoint_from_bytes(blob: bytes) -> Dict[int, CompressedField]:
     with the byte offset and entry index, never a bare ``struct.error``
     or a silently misparsed result.
     """
-    if not blob.startswith(_CHECKPOINT_MAGIC):
+    blob = memoryview(blob)
+    if blob.ndim != 1 or blob.itemsize != 1:
+        blob = blob.cast("B")
+    if blob[: len(_CHECKPOINT_MAGIC)] != _CHECKPOINT_MAGIC:
         raise ConfigurationError("not a checkpoint blob (bad magic)")
     offset = len(_CHECKPOINT_MAGIC)
     if len(blob) < offset + 8:

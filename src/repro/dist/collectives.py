@@ -3,7 +3,8 @@
 A :class:`Communicator` wraps one :class:`~repro.dist.transport.Transport`
 endpoint with the operations the pipeline needs:
 
-- ``send_payload`` / ``recv_payload`` — tagged point-to-point bytes;
+- ``send_payload`` / ``recv_payload`` — tagged point-to-point payloads
+  (bytes-like or :class:`~repro.dist.wire.Segments` scatter-gather lists);
 - ``broadcast`` — root fans a payload to every rank (input distribution);
 - ``sparse_allgather`` — every rank ships its payload to every peer and
   receives all of theirs: *the* single sparse accumulation exchange of
@@ -34,7 +35,7 @@ from repro.dist.ledger import (
     CATEGORY_EXCHANGE,
 )
 from repro.dist.transport import Transport
-from repro.dist.wire import Frame, FrameKind
+from repro.dist.wire import Frame, FrameKind, FramePayload
 from repro.errors import CommunicationError, RankFailure, TransportError
 
 #: Tags for the pipeline's bulk-synchronous phases.
@@ -96,9 +97,18 @@ class Communicator:
 
     # -- point-to-point -----------------------------------------------------
     def send_payload(
-        self, dst: int, payload: bytes, tag: int, category: str = CATEGORY_DATA
+        self,
+        dst: int,
+        payload: FramePayload,
+        tag: int,
+        category: str = CATEGORY_DATA,
     ) -> None:
-        """Send ``payload`` to ``dst`` under ``tag``."""
+        """Send ``payload`` to ``dst`` under ``tag``.
+
+        ``payload`` is any bytes-like object or a
+        :class:`~repro.dist.wire.Segments` list — segments ride the
+        transport's scatter-gather path without being concatenated.
+        """
         self.transport.send(dst, Frame(FrameKind.DATA, self.rank, tag, payload), category)
 
     def recv_payload(
@@ -171,16 +181,18 @@ class Communicator:
 
     def sparse_allgather(
         self,
-        payload: bytes,
+        payload: FramePayload,
         tag: int = TAG_EXCHANGE,
         category: str = CATEGORY_EXCHANGE,
-    ) -> List[bytes]:
+    ) -> List[FramePayload]:
         """The single sparse exchange: all ranks swap payloads.
 
         Returns the per-rank payloads indexed by source rank (this rank's
-        own payload included at its slot).  All traffic is counted under
-        the ``exchange`` category — these are exactly the bytes Eq 6
-        models.
+        own payload included at its slot, exactly as passed — a
+        :class:`~repro.dist.wire.Segments` payload goes out scatter-gather
+        and comes back on peers as one contiguous buffer).  All traffic is
+        counted under the ``exchange`` category — these are exactly the
+        bytes Eq 6 models.
         """
         peers = {r for r in range(self.size) if r != self.rank}
         outgoing = {
@@ -229,7 +241,7 @@ class Communicator:
 
     def alltoall(
         self,
-        payloads: List[bytes],
+        payloads: List[FramePayload],
         tag: int = TAG_EXCHANGE,
         category: str = CATEGORY_DATA,
     ) -> List[bytes]:
@@ -300,7 +312,7 @@ class StreamedAllgather:
         self.category = category
         self.name = name
         self._peers = [r for r in range(comm.size) if r != comm.rank]
-        self._own: List[bytes] = []
+        self._own: List[FramePayload] = []
         self._seq = 0
         self._finished = False
         self._window = (
@@ -314,11 +326,14 @@ class StreamedAllgather:
         """Number of chunk payloads pushed so far."""
         return self._seq
 
-    def push(self, payload: bytes) -> None:
+    def push(self, payload: FramePayload) -> None:
         """Stream one chunk payload to every peer (bounded, non-blocking).
 
-        Returns as soon as the chunk is queued on the send window; blocks
-        only when ``window`` chunks are already in flight (backpressure).
+        ``payload`` is any bytes-like object or a
+        :class:`~repro.dist.wire.Segments` list (carried through the send
+        window and onto the socket without concatenation).  Returns as
+        soon as the chunk is queued on the send window; blocks only when
+        ``window`` chunks are already in flight (backpressure).
         """
         if self._finished:
             raise CommunicationError("stream already finished")
@@ -347,7 +362,7 @@ class StreamedAllgather:
             return 0.0
         return self._window.sent_seconds_total()
 
-    def finish(self, timeout: Optional[float] = None) -> List[List[bytes]]:
+    def finish(self, timeout: Optional[float] = None) -> List[List[FramePayload]]:
         """Close this rank's stream and collect every peer's chunks.
 
         Returns per-rank chunk lists indexed by source rank (this rank's
@@ -359,7 +374,7 @@ class StreamedAllgather:
             raise CommunicationError("stream already finished")
         self._finished = True
         budget = self.comm.recv_timeout_s if timeout is None else float(timeout)
-        result: List[List[bytes]] = [[] for _ in range(self.comm.size)]
+        result: List[List[FramePayload]] = [[] for _ in range(self.comm.size)]
         result[self.comm.rank] = list(self._own)
         if self._window is None:
             return result
@@ -380,7 +395,7 @@ class StreamedAllgather:
         self._window.close(timeout=budget)
         return result
 
-    def _drain(self, result: List[List[bytes]], budget: float) -> None:
+    def _drain(self, result: List[List[FramePayload]], budget: float) -> None:
         pending = set(self._peers)
         # out-of-phase frames parked earlier may already hold our chunks
         for parked in list(self.comm._parked):

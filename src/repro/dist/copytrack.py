@@ -1,0 +1,46 @@
+"""Copy accounting for the distributed data plane (public surface).
+
+Sits next to :class:`~repro.dist.ledger.WireLedger`: where the wire
+ledger counts bytes *sent and received*, the :class:`CopyLedger` counts
+bytes *memcpy'd by our code* while moving a compressed field from compute
+to the socket.  The zero-copy data plane keeps the ``wire.*`` sites at
+zero for float64 payloads — a tested invariant (see
+``tests/test_dist_copytrack.py``).
+
+The implementation lives in :mod:`repro.util.copytrack` so the octree
+codec and checkpoint container can record copies without importing
+``repro.dist`` (import-cycle hygiene); this module is the supported entry
+point for distributed-runtime users.
+"""
+
+from __future__ import annotations
+
+from repro.util.copytrack import (
+    SITE_CHECKPOINT_JOIN,
+    SITE_DECODE_CAST,
+    SITE_DESERIALIZE_INTO,
+    SITE_ENCODE_CAST,
+    SITE_FRAME_JOIN,
+    SITE_SERIALIZE_JOIN,
+    WIRE_PREFIX,
+    CopyLedger,
+    ledger,
+    measured_join,
+    record,
+    reset,
+)
+
+__all__ = [
+    "CopyLedger",
+    "ledger",
+    "measured_join",
+    "record",
+    "reset",
+    "SITE_CHECKPOINT_JOIN",
+    "SITE_DECODE_CAST",
+    "SITE_DESERIALIZE_INTO",
+    "SITE_ENCODE_CAST",
+    "SITE_FRAME_JOIN",
+    "SITE_SERIALIZE_JOIN",
+    "WIRE_PREFIX",
+]

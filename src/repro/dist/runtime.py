@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.dist import copytrack
 from repro.dist.collectives import Communicator
 from repro.dist.tcp import TcpTransport
 from repro.dist.transport import LocalFabric
@@ -151,6 +152,9 @@ def _tcp_child(
 ) -> None:
     """Child-process body for one TCP rank (communicates via ``conn``)."""
     try:
+        # a forked child inherits the parent's copy counters; zero them so
+        # RankResult.copies is exactly this rank's work
+        copytrack.reset()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.bind(("127.0.0.1", 0))
         listener.listen(config.num_ranks)

@@ -9,10 +9,17 @@ pair of ranks shares exactly one TCP connection carrying length-prefixed
 
 Concurrency: frames may be written by the application thread and the
 heartbeat thread simultaneously, so each peer socket has a write lock and
-frames are written with a single ``sendall`` (frames never interleave).
+each frame is written while holding it (frames never interleave).
 :meth:`TcpTransport.exchange` runs its sends on a helper thread while the
 caller drains receives — the all-to-peers exchange can therefore never
 deadlock on full kernel socket buffers, whatever the payload size.
+
+Zero-copy data plane: sends go out with ``socket.sendmsg`` scatter-gather
+over the frame's header/payload views (header packed into a per-peer
+scratch buffer — no per-frame ``bytes`` even for heartbeats), and
+receives land in a reusable :class:`~repro.dist.transport.RecvArena` via
+``recv_into``.  A received DATA payload is a ``memoryview`` over an arena
+slab whose ownership passes to the consumer.
 
 Failure mapping: receive deadline exceeded →
 :class:`~repro.errors.TransportError`; peer EOF without a prior ``BYE``
@@ -29,27 +36,34 @@ import time
 from typing import Dict, List, Optional, Set
 
 from repro.dist.ledger import CATEGORY_CONTROL, CATEGORY_DATA, WireLedger
-from repro.dist.transport import Transport
+from repro.dist.transport import RecvArena, Transport
 from repro.dist.wire import (
     HEADER_BYTES,
     Frame,
     FrameKind,
     decode_header,
-    encode_frame,
 )
 from repro.errors import CommunicationError, RankFailure, TransportError
 
 #: Default wall-clock budget for building the full mesh.
 CONNECT_TIMEOUT_S = 20.0
 
+#: Cap on buffers per ``sendmsg`` call (POSIX IOV_MAX is >= 1024 on the
+#: platforms we run; exceeding it raises EMSGSIZE).
+_IOV_CAP = 1024
 
-def _read_exact(sock: socket.socket, n: int, deadline: float, src: int) -> bytes:
-    """Read exactly ``n`` bytes from ``sock`` before ``deadline``.
 
-    Returns ``b""`` for a clean EOF at a frame boundary (0 bytes read);
-    raises :class:`TransportError` for EOF or deadline mid-read.
+def _read_exact_into(
+    sock: socket.socket, view: memoryview, deadline: float, src: int
+) -> int:
+    """Fill ``view`` completely from ``sock`` before ``deadline``.
+
+    Returns the byte count read — ``len(view)``, or 0 for a clean EOF at
+    a frame boundary (no bytes read); raises :class:`TransportError` for
+    EOF or deadline mid-read.  Data lands directly in ``view`` via
+    ``recv_into`` — no intermediate chunk list, no join.
     """
-    chunks: List[bytes] = []
+    n = len(view)
     got = 0
     while got < n:
         remaining = deadline - time.monotonic()
@@ -60,7 +74,7 @@ def _read_exact(sock: socket.socket, n: int, deadline: float, src: int) -> bytes
             )
         sock.settimeout(remaining)
         try:
-            chunk = sock.recv(n - got)
+            count = sock.recv_into(view[got:], n - got)
         except socket.timeout:
             raise TransportError(
                 f"receive from rank {src} timed out mid-frame "
@@ -70,16 +84,40 @@ def _read_exact(sock: socket.socket, n: int, deadline: float, src: int) -> bytes
             raise TransportError(
                 f"socket error receiving from rank {src}: {exc}"
             ) from exc
-        if not chunk:
+        if count == 0:
             if got == 0:
-                return b""
+                return 0
             raise TransportError(
                 f"stream from rank {src} truncated at offset {got} "
                 f"(wanted {n} bytes)"
             )
-        chunks.append(chunk)
-        got += len(chunk)
-    return b"".join(chunks)
+        got += count
+    return got
+
+
+def _sendmsg_all(
+    sock: socket.socket, segments: List[memoryview], total: int
+) -> None:
+    """Write every segment with scatter-gather ``sendmsg`` (no join).
+
+    Handles partial sends by advancing past fully-written segments and
+    re-slicing the partial one (both zero-copy), and caps the iovec list
+    at :data:`_IOV_CAP` buffers per call.
+    """
+    pending = [s for s in segments if len(s)]
+    sent_total = 0
+    while pending:
+        sent = sock.sendmsg(pending[:_IOV_CAP])
+        sent_total += sent
+        while pending and sent >= len(pending[0]):
+            sent -= len(pending[0])
+            pending.pop(0)
+        if sent and pending:
+            pending[0] = pending[0][sent:]
+    if sent_total != total:  # pragma: no cover - defensive
+        raise TransportError(
+            f"scatter-gather send wrote {sent_total} of {total} bytes"
+        )
 
 
 class TcpTransport(Transport):
@@ -111,9 +149,14 @@ class TcpTransport(Transport):
         super().__init__(rank, size, ledger)
         self._peers: Dict[int, socket.socket] = {}
         self._send_locks: Dict[int, threading.Lock] = {}
+        #: per-peer header scratch, written under the peer's send lock —
+        #: control frames (heartbeat, BYE) allocate nothing per send
+        self._send_scratch: Dict[int, bytearray] = {}
         self._bye_from: Set[int] = set()
         self._closed = False
         self._selector = selectors.DefaultSelector()
+        #: reusable receive buffers (header scratch + payload slabs)
+        self.arena = RecvArena()
         self._build_mesh(ports, listener, connect_timeout)
 
     # -- bootstrap ----------------------------------------------------------
@@ -124,11 +167,8 @@ class TcpTransport(Transport):
         # Connect down: this rank dials every lower rank's listener.
         for dst in range(self.rank):
             sock = self._dial(ports[dst], dst, deadline)
-            hello = Frame(FrameKind.HELLO, self.rank, 0)
-            data = encode_frame(hello)
-            sock.sendall(data)
-            self.ledger.record_send(CATEGORY_CONTROL, len(data))
             self._register(dst, sock)
+            self.send(dst, Frame(FrameKind.HELLO, self.rank, 0), CATEGORY_CONTROL)
         # Accept up: every higher rank dials us and leads with HELLO.
         expected = self.size - 1 - self.rank
         for _ in range(expected):
@@ -173,28 +213,39 @@ class TcpTransport(Transport):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._peers[src] = sock
         self._send_locks[src] = threading.Lock()
+        self._send_scratch[src] = bytearray(HEADER_BYTES)
         self._selector.register(sock, selectors.EVENT_READ, src)
 
     # -- frame I/O ----------------------------------------------------------
     def _read_frame_blocking(
         self, sock: socket.socket, deadline: float, src: int
     ) -> Optional[Frame]:
-        """Read one frame; ``None`` means clean EOF at a frame boundary."""
-        header = _read_exact(sock, HEADER_BYTES, deadline, src)
-        if not header:
+        """Read one frame into the arena; ``None`` means clean EOF at a
+        frame boundary.  A DATA payload is a ``memoryview`` over an arena
+        slab — ownership passes to the frame's consumer."""
+        header = self.arena.header_view()
+        if _read_exact_into(sock, header, deadline, src) == 0:
             return None
         kind, fsrc, tag, length = decode_header(header)
-        payload = _read_exact(sock, length, deadline, fsrc) if length else b""
-        if length and len(payload) != length:
-            raise TransportError(
-                f"frame from rank {fsrc} truncated at offset "
-                f"{HEADER_BYTES + len(payload)}: header declares {length} "
-                "payload bytes"
-            )
+        if length:
+            payload: "memoryview | bytes" = self.arena.take(length)
+            if _read_exact_into(sock, payload, deadline, fsrc) == 0:
+                raise TransportError(
+                    f"frame from rank {fsrc} truncated at offset "
+                    f"{HEADER_BYTES}: header declares {length} "
+                    "payload bytes"
+                )
+        else:
+            payload = b""
         return Frame(kind=kind, src=fsrc, tag=tag, payload=payload)
 
     def send(self, dst: int, frame: Frame, category: str = CATEGORY_DATA) -> None:
-        """Write ``frame`` to ``dst``'s socket (one locked sendall)."""
+        """Write ``frame`` with one locked scatter-gather ``sendmsg``.
+
+        The header is packed into the peer's scratch buffer and the
+        payload views go straight from the frame's buffers to the socket
+        — no concatenation, no per-frame allocation.
+        """
         self._check_peer(dst)
         sock = self._peers.get(dst)
         if sock is None:
@@ -202,17 +253,17 @@ class TcpTransport(Transport):
                 f"rank {self.rank}: no connection to rank {dst} "
                 "(peer closed or never joined)"
             )
-        data = encode_frame(frame)
         try:
             with self._send_locks[dst]:
                 sock.settimeout(None)
-                sock.sendall(data)
+                segments = frame.encode_into(self._send_scratch[dst])
+                _sendmsg_all(sock, segments, frame.nbytes)
         except OSError as exc:
             raise RankFailure(
                 f"rank {self.rank}: send to rank {dst} failed "
                 f"({exc}) — peer likely dead"
             ) from exc
-        self.ledger.record_send(category, len(data))
+        self.ledger.record_send(category, frame.nbytes)
 
     def recv(self, timeout: float, category: str = CATEGORY_DATA) -> Frame:
         """Return the next frame from any peer (selector-multiplexed)."""

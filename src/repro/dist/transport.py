@@ -27,8 +27,92 @@ import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.dist.ledger import CATEGORY_CONTROL, CATEGORY_DATA, WireLedger
-from repro.dist.wire import Frame, FrameKind, decode_frame, encode_frame
+from repro.dist.wire import HEADER_BYTES, Frame, FrameKind, decode_frame, encode_frame
 from repro.errors import CommunicationError, RankFailure, TransportError
+
+
+class RecvArena:
+    """Reusable receive buffers: preallocated, grow-on-demand ``bytearray``
+    slabs served as exact-size ``memoryview`` windows.
+
+    The zero-copy receive path reads each frame header into a persistent
+    20-byte scratch (:meth:`header_view`) and each payload into a pooled
+    slab (:meth:`take`) via ``recv_into`` — no per-frame allocation once
+    the pool is warm, and no copy between socket and decoder.
+
+    Lifecycle: ownership of a payload view passes to the frame's consumer
+    (decoded :class:`~repro.octree.compress.CompressedField` values alias
+    it), so slabs are *not* recycled automatically.  A consumer that is
+    finished with a payload may hand its slab back with :meth:`recycle`;
+    correctness never depends on it — an unrecycled slab is garbage
+    collected with the payload that aliases it.
+
+    Thread safety: the slab pool is locked; the header scratch is a
+    single buffer and belongs to the one thread driving the receive loop
+    (both transports receive on a single thread).
+    """
+
+    #: Smallest slab handed out; payload sizes are rounded up to a
+    #: power of two so mixed sizes reuse a small set of size classes.
+    MIN_SLAB_BYTES = 4096
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._free: Dict[int, List[bytearray]] = {}
+        self._header = bytearray(HEADER_BYTES)
+        self.allocated_bytes = 0
+        self.slabs_created = 0
+        self.slabs_reused = 0
+        # warm pool: one minimum-size slab so small frames never allocate
+        self.recycle(memoryview(self._new_slab(self.MIN_SLAB_BYTES)))
+
+    def _new_slab(self, size: int) -> bytearray:
+        self.allocated_bytes += size
+        self.slabs_created += 1
+        return bytearray(size)
+
+    def header_view(self) -> memoryview:
+        """The persistent frame-header scratch (receive-thread only)."""
+        return memoryview(self._header)
+
+    def take(self, n: int) -> memoryview:
+        """A writable view of exactly ``n`` bytes over a pooled slab."""
+        if n < 0:
+            raise CommunicationError(f"cannot take {n} bytes from arena")
+        if n == 0:
+            return memoryview(bytearray(0))
+        size = max(self.MIN_SLAB_BYTES, 1 << (n - 1).bit_length())
+        with self._lock:
+            pool = self._free.get(size)
+            slab = pool.pop() if pool else None
+        if slab is None:
+            slab = self._new_slab(size)
+        else:
+            self.slabs_reused += 1
+        return memoryview(slab)[:n]
+
+    def recycle(self, view: memoryview) -> None:
+        """Return a view's backing slab to the pool (caller must be done
+        with every view over it)."""
+        slab = view.obj
+        if not isinstance(slab, bytearray):
+            raise CommunicationError(
+                f"can only recycle arena slabs, got a view over "
+                f"{type(slab).__name__}"
+            )
+        with self._lock:
+            self._free.setdefault(len(slab), []).append(slab)
+
+    def stats(self) -> dict:
+        """Pool counters (for benchmarks and tests)."""
+        with self._lock:
+            pooled = sum(len(v) for v in self._free.values())
+        return {
+            "allocated_bytes": self.allocated_bytes,
+            "slabs_created": self.slabs_created,
+            "slabs_reused": self.slabs_reused,
+            "slabs_pooled": pooled,
+        }
 
 
 class Transport(abc.ABC):

@@ -32,8 +32,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.checkpoint import checkpoint_from_bytes, checkpoint_to_bytes
+from repro.core.checkpoint import (
+    checkpoint_from_bytes,
+    checkpoint_segments,
+    join_checkpoint_segments,
+)
 from repro.core.pipeline import LowCommConvolution3D
+from repro.dist import copytrack
 from repro.dist.collectives import (
     TAG_EXCHANGE,
     TAG_FIELD,
@@ -41,6 +46,7 @@ from repro.dist.collectives import (
     Communicator,
 )
 from repro.dist.ledger import CATEGORY_EXCHANGE
+from repro.dist.wire import Segments
 from repro.errors import ConfigurationError
 from repro.octree.compress import CompressedField
 from repro.octree.interpolate import reconstruct_box
@@ -152,6 +158,11 @@ class RankResult:
     #: total wire send time of the stream, hidden + visible (0 in
     #: barrier mode, where sends are folded into ``exchange_s``)
     exchange_send_s: float = 0.0
+    #: this rank's :class:`~repro.dist.copytrack.CopyLedger` snapshot —
+    #: exact per-rank under the TCP transport (one process per rank,
+    #: ledger reset at child start); under the loopback transport the
+    #: ledger is process-global, so rank threads see shared totals
+    copies: dict = dataclass_field(default_factory=dict)
 
 
 def composite_field(n: int, seed: int = 0) -> np.ndarray:
@@ -288,6 +299,7 @@ def rank_main(
         exchange_frames_per_peer=frames,
         exchange_hidden_s=hidden_s,
         exchange_send_s=send_s,
+        copies=copytrack.ledger().snapshot(),
     )
 
 
@@ -331,8 +343,13 @@ def _barrier_phases(
 
     _maybe_fail(config, rank, "before_checkpoint", abort)
 
-    # Phase 2: checkpoint, then the ONE sparse exchange.
-    blob = checkpoint_to_bytes(own, precision=config.precision)
+    # Phase 2: checkpoint, then the ONE sparse exchange.  The wire path
+    # carries the zero-copy segments; the contiguous blob exists only for
+    # the driver's fault-tolerance mailbox (and doubles as this rank's
+    # own slot in the merge, keeping float32 round-trip semantics
+    # identical on every rank).
+    segments = checkpoint_segments(own, precision=config.precision)
+    blob = join_checkpoint_segments(segments)
     if post is not None:
         post("checkpoint", rank, blob)
 
@@ -345,12 +362,13 @@ def _barrier_phases(
         _maybe_fail(config, rank, "mid_exchange", abort)
 
     t1 = time.perf_counter()
-    blobs = comm.sparse_allgather(blob, tag=TAG_EXCHANGE)
+    blobs = comm.sparse_allgather(Segments(segments), tag=TAG_EXCHANGE)
     exchange_s = time.perf_counter() - t1
+    blobs[rank] = blob  # same bytes as the segments, already contiguous
 
     merged: Dict[int, CompressedField] = {}
     for payload in blobs:
-        if payload:
+        if len(payload):
             merged.update(checkpoint_from_bytes(payload))
     return own, merged, compute_s, exchange_s, len(blob), 1, 0.0, 0.0
 
@@ -385,21 +403,25 @@ def _streamed_phases(
     ]
     mid_chunk = max(1, len(active) // 2)
     own: List[Tuple[object, CompressedField]] = []
+    #: contiguous copies of the pushed chunk segments (mailbox + self slot)
+    own_blobs: List[bytes] = []
     t0 = time.perf_counter()
     for sub in active:
         compressed = _convolve_chunk(pipeline, field, sub)
         if compressed is None:
             continue
         own.append((sub, compressed))
-        chunk_blob = checkpoint_to_bytes(
+        chunk_segments = checkpoint_segments(
             [(sub, compressed)], precision=config.precision
         )
+        chunk_blob = join_checkpoint_segments(chunk_segments)
+        own_blobs.append(chunk_blob)
         if post is not None:
             post("chunk", rank, chunk_blob)
         if len(own) == 1:
             # driver holds this chunk's checkpoint; peers never see it
             _maybe_fail(config, rank, "post_chunk_checkpoint", abort)
-        stream.push(chunk_blob)
+        stream.push(Segments(chunk_segments))
         if len(own) == 1:
             # first chunk is (at least partially) on the wire
             _maybe_fail(config, rank, "stream_send", abort)
@@ -417,6 +439,9 @@ def _streamed_phases(
     exchange_s = time.perf_counter() - t1
     hidden_s = stream.hidden_seconds(compute_end)
     send_s = stream.send_seconds()
+    # this rank's slot holds the pushed Segments; substitute the
+    # byte-identical contiguous blobs so the merge decodes one format
+    per_rank_chunks[rank] = own_blobs
 
     merged: Dict[int, CompressedField] = {}
     for chunks in per_rank_chunks:

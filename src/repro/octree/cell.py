@@ -97,6 +97,12 @@ class OctreeCell:
         )
 
 
+def _samples_per_axis_vec(sizes: np.ndarray, rates: np.ndarray) -> np.ndarray:
+    """Vectorized :attr:`OctreeCell.samples_per_axis` over int64 arrays."""
+    base = -(-sizes // rates)
+    return base + ((sizes > 1) & ((sizes - 1) % rates != 0))
+
+
 def encode_metadata(cells: Sequence[OctreeCell]) -> np.ndarray:
     """Pack cells into the paper's flat int32 layout.
 
@@ -105,14 +111,19 @@ def encode_metadata(cells: Sequence[OctreeCell]) -> np.ndarray:
     "the last entry helps to decode the octree" by giving each cell its
     offset into the flat sample-value array.
     """
-    out = np.empty(len(cells) * METADATA_INTS_PER_CELL, dtype=np.int32)
-    cum = 0
-    for i, cell in enumerate(cells):
-        base = i * METADATA_INTS_PER_CELL
-        out[base : base + 3] = cell.corner
-        out[base + 3] = cell.rate
-        out[base + 4] = cum
-        cum += cell.sample_count
+    num = len(cells)
+    out = np.empty(num * METADATA_INTS_PER_CELL, dtype=np.int32)
+    if num == 0:
+        return out
+    packed = out.reshape(num, METADATA_INTS_PER_CELL)
+    packed[:, :3] = [c.corner for c in cells]
+    rates = np.fromiter((c.rate for c in cells), dtype=np.int64, count=num)
+    sizes = np.fromiter((c.size for c in cells), dtype=np.int64, count=num)
+    packed[:, 3] = rates
+    counts = _samples_per_axis_vec(sizes, rates) ** 3
+    cum = np.zeros(num, dtype=np.int64)
+    np.cumsum(counts[:-1], out=cum[1:])
+    packed[:, 4] = cum
     return out
 
 
@@ -135,17 +146,37 @@ def decode_metadata(
         raise ConfigurationError(
             f"got {len(sizes)} sizes for {n_cells} encoded cells"
         )
-    cells: List[OctreeCell] = []
-    cum = 0
-    for i in range(n_cells):
-        base = i * METADATA_INTS_PER_CELL
-        x, y, z, rate, stored_cum = (int(v) for v in metadata[base : base + 5])
-        if stored_cum != cum:
-            raise ConfigurationError(
-                f"cumulative-count invariant violated at cell {i}: "
-                f"stored {stored_cum}, expected {cum}"
-            )
-        cell = OctreeCell(corner=(x, y, z), size=int(sizes[i]), rate=rate)
-        cells.append(cell)
-        cum += cell.sample_count
-    return cells
+    if n_cells == 0:
+        return []
+    packed = metadata.reshape(n_cells, METADATA_INTS_PER_CELL)
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    rates = packed[:, 3]
+    stored = packed[:, 4]
+    # Validate the cumulative-count invariant vectorized; geometry that the
+    # OctreeCell constructor would reject (rate/size <= 0, negative corner)
+    # is substituted out of the count arithmetic and re-raised through the
+    # constructor so garbage bytes keep their original per-cell error.
+    valid_geom = (rates > 0) & (sizes_arr > 0)
+    safe_rates = np.where(valid_geom, rates, 1)
+    safe_sizes = np.where(valid_geom, sizes_arr, 1)
+    counts = _samples_per_axis_vec(safe_sizes, safe_rates) ** 3
+    expected = np.zeros(n_cells, dtype=np.int64)
+    np.cumsum(counts[:-1], out=expected[1:])
+    mismatch = np.nonzero(stored != expected)[0]
+    invalid = np.nonzero(~valid_geom | (packed[:, :3] < 0).any(axis=1))[0]
+    first_mismatch = int(mismatch[0]) if mismatch.size else n_cells
+    first_invalid = int(invalid[0]) if invalid.size else n_cells
+    if first_mismatch <= first_invalid and first_mismatch < n_cells:
+        i = first_mismatch
+        raise ConfigurationError(
+            f"cumulative-count invariant violated at cell {i}: "
+            f"stored {int(stored[i])}, expected {int(expected[i])}"
+        )
+    return [
+        OctreeCell(
+            corner=(int(packed[i, 0]), int(packed[i, 1]), int(packed[i, 2])),
+            size=int(sizes_arr[i]),
+            rate=int(rates[i]),
+        )
+        for i in range(n_cells)
+    ]

@@ -201,13 +201,29 @@ class SamplingPattern:
             raise ConfigurationError(f"axis must be 0, 1 or 2, got {axis}")
         return self._axis_coordinate_sets[axis]
 
+    @cached_property
+    def _packed_metadata(self) -> np.ndarray:
+        meta = encode_metadata(self.cells)
+        meta.setflags(write=False)
+        return meta
+
+    @cached_property
+    def _packed_sizes(self) -> np.ndarray:
+        sizes = np.array([c.size for c in self.cells], dtype=np.int32)
+        sizes.setflags(write=False)
+        return sizes
+
     def metadata(self) -> np.ndarray:
-        """Packed 5-int-per-cell metadata (paper layout)."""
-        return encode_metadata(self.cells)
+        """Packed 5-int-per-cell metadata (paper layout).
+
+        Cached and read-only: the serializer ships it as a zero-copy
+        segment, so every encode of the same pattern reuses one buffer.
+        """
+        return self._packed_metadata
 
     def cell_sizes(self) -> np.ndarray:
-        """Edge lengths parallel to the packed metadata."""
-        return np.array([c.size for c in self.cells], dtype=np.int32)
+        """Edge lengths parallel to the packed metadata (cached, read-only)."""
+        return self._packed_sizes
 
     def metadata_nbytes(self) -> int:
         """Bytes of octree metadata (int32 layout)."""

@@ -12,11 +12,21 @@ float32 — the paper's lower-precision compression option).  The sampling patte
 reconstructible from the metadata + sizes, so a receiver needs no
 out-of-band information (the property the paper's "the last entry helps to
 decode the octree" remark is about).
+
+Zero-copy data plane: :func:`serialize_segments` emits the four sections
+as ``memoryview`` segments over the field's own arrays (no join), and
+:func:`deserialize_compressed` accepts any bytes-like object and aliases
+the float64 values straight out of the buffer (no slice, no cast).  The
+only remaining copies are the float32 precision conversions, and those
+are counted on the :mod:`repro.util.copytrack` ledger.
+:func:`serialize_compressed` keeps the classic one-``bytes`` API as a
+counted join of the segments.
 """
 
 from __future__ import annotations
 
 import warnings
+from typing import List, Union
 
 import numpy as np
 
@@ -24,6 +34,7 @@ from repro.errors import ConfigurationError
 from repro.octree.cell import METADATA_INTS_PER_CELL, decode_metadata
 from repro.octree.compress import CompressedField
 from repro.octree.sampling import SamplingPattern
+from repro.util import copytrack
 
 #: magic number: 'LC3D' as little-endian int
 _MAGIC = 0x4C433344
@@ -35,16 +46,34 @@ _LEGACY_HEADER_FIELDS = 6  # n, k, cx, cy, cz, num_cells (pre-magic format)
 _PRECISION_CODES = {"float64": 0, "float32": 1}
 _PRECISION_DTYPES = {0: np.float64, 1: np.float32}
 
+Payload = Union[bytes, bytearray, memoryview]
 
-def serialize_compressed(
+
+def _as_view(payload: Payload) -> memoryview:
+    """Flat byte view over any bytes-like payload (no copy)."""
+    view = memoryview(payload)
+    if view.ndim != 1 or view.itemsize != 1:
+        view = view.cast("B")
+    return view
+
+
+def _byte_view(arr: np.ndarray) -> memoryview:
+    """Flat byte view over a contiguous array (no copy)."""
+    return memoryview(arr).cast("B")
+
+
+def serialize_segments(
     field: CompressedField, precision: str = "float64"
-) -> bytes:
-    """Encode a compressed field to its wire representation.
+) -> List[memoryview]:
+    """Encode a compressed field as zero-copy wire segments.
 
-    ``precision="float32"`` halves the value payload — the paper's "can be
-    compressed further using lower precision" remark — at the cost of
-    ~1e-7 relative rounding on the samples (quantified by the serialization
-    benchmark).
+    Returns the ``[header, metadata, sizes, values]`` sections as byte
+    ``memoryview`` segments aliasing the pattern's cached metadata arrays
+    and (for float64) the field's own value buffer — nothing is joined or
+    copied.  ``precision="float32"`` performs exactly one counted downcast
+    of the values into a fresh buffer.  Segment lists feed
+    :class:`repro.dist.wire.Segments` for scatter-gather sends, or
+    :func:`serialize_compressed` for a contiguous blob.
     """
     if precision not in _PRECISION_CODES:
         raise ConfigurationError(
@@ -65,63 +94,123 @@ def serialize_compressed(
         ],
         dtype=np.int64,
     )
-    meta = pattern.metadata().astype(np.int32)
-    sizes = pattern.cell_sizes().astype(np.int32)
-    values = np.ascontiguousarray(field.values, dtype=precision)
-    return b"".join(
-        [header.tobytes(), meta.tobytes(), sizes.tobytes(), values.tobytes()]
+    meta = pattern.metadata()
+    sizes = pattern.cell_sizes()
+    if precision == "float64":
+        values = np.ascontiguousarray(field.values, dtype=np.float64)
+    else:
+        # single direct downcast into the output buffer (no float64
+        # intermediate) — the one unavoidable copy of the float32 path
+        values = np.empty(field.values.shape, dtype=np.float32)
+        values[...] = field.values
+        copytrack.record(copytrack.SITE_ENCODE_CAST, values.nbytes)
+    return [
+        _byte_view(header),
+        _byte_view(meta),
+        _byte_view(sizes),
+        _byte_view(values),
+    ]
+
+
+def serialize_compressed(
+    field: CompressedField, precision: str = "float64"
+) -> bytes:
+    """Encode a compressed field to one contiguous wire ``bytes``.
+
+    ``precision="float32"`` halves the value payload — the paper's "can be
+    compressed further using lower precision" remark — at the cost of
+    ~1e-7 relative rounding on the samples (quantified by the serialization
+    benchmark).  The join is counted on the copy ledger; transports should
+    prefer :func:`serialize_segments` and skip it entirely.
+    """
+    return copytrack.measured_join(
+        serialize_segments(field, precision=precision),
+        site=copytrack.SITE_SERIALIZE_JOIN,
     )
 
 
+def _decode_values(
+    view: memoryview,
+    offset: int,
+    value_dtype,
+    expected_values: int,
+    out: "np.ndarray | None",
+) -> np.ndarray:
+    """Decode the value section starting at ``offset`` (zero-copy when
+    the stored precision is float64 and no ``out`` buffer is given)."""
+    itemsize = np.dtype(value_dtype).itemsize
+    if (view.nbytes - offset) % itemsize:
+        raise ConfigurationError(
+            f"value payload of {view.nbytes - offset} bytes at offset "
+            f"{offset} is not a whole number of {itemsize}-byte "
+            "values"
+        )
+    stored = np.frombuffer(view[offset:], dtype=value_dtype)
+    if stored.size != expected_values:
+        raise ConfigurationError(
+            f"payload carries {stored.size} values at offset {offset}, "
+            f"pattern requires {expected_values}"
+        )
+    if out is not None:
+        if out.size < expected_values:
+            raise ConfigurationError(
+                f"output array of {out.size} values cannot hold the "
+                f"{expected_values} values the payload carries"
+            )
+        target = out[:expected_values]
+        target[...] = stored
+        copytrack.record(copytrack.SITE_DESERIALIZE_INTO, target.nbytes)
+        return target
+    if stored.dtype == np.float64:
+        return stored  # aliases the payload buffer — no copy
+    values = np.empty(stored.shape, dtype=np.float64)
+    values[...] = stored  # single counted precision promotion
+    copytrack.record(copytrack.SITE_DECODE_CAST, values.nbytes)
+    return values
+
+
 def _decode_body(
-    payload: bytes,
+    view: memoryview,
     offset: int,
     n: int,
     k: int,
     corner: tuple,
     num_cells: int,
     value_dtype,
+    out: "np.ndarray | None" = None,
 ) -> CompressedField:
     """Shared body decoder: metadata + sizes + values starting at ``offset``."""
     meta_bytes = num_cells * METADATA_INTS_PER_CELL * 4
     sizes_bytes = num_cells * 4
     # Explicit length check: frombuffer on a short slice would silently
     # yield fewer ints and misparse the octree rather than fail.
-    if len(payload) < offset + meta_bytes + sizes_bytes:
+    if view.nbytes < offset + meta_bytes + sizes_bytes:
         raise ConfigurationError(
-            f"payload of {len(payload)} bytes truncated: header declares "
+            f"payload of {view.nbytes} bytes truncated: header declares "
             f"{num_cells} cells needing {meta_bytes + sizes_bytes} metadata "
             f"bytes at offset {offset}"
         )
-    meta = np.frombuffer(payload[offset : offset + meta_bytes], dtype=np.int32)
+    meta = np.frombuffer(view[offset : offset + meta_bytes], dtype=np.int32)
     offset += meta_bytes
-    sizes = np.frombuffer(payload[offset : offset + sizes_bytes], dtype=np.int32)
+    sizes = np.frombuffer(view[offset : offset + sizes_bytes], dtype=np.int32)
     offset += sizes_bytes
 
-    cells = decode_metadata(meta, sizes.tolist())
+    cells = decode_metadata(meta, sizes)
     pattern = SamplingPattern(
         n=n,
         cells=cells,
         subdomain_corner=corner,
         subdomain_size=k,
     )
-    expected_values = pattern.sample_count
-    if (len(payload) - offset) % np.dtype(value_dtype).itemsize:
-        raise ConfigurationError(
-            f"value payload of {len(payload) - offset} bytes at offset "
-            f"{offset} is not a whole number of {value_dtype().nbytes}-byte "
-            "values"
-        )
-    values = np.frombuffer(payload[offset:], dtype=value_dtype)
-    if values.size != expected_values:
-        raise ConfigurationError(
-            f"payload carries {values.size} values at offset {offset}, "
-            f"pattern requires {expected_values}"
-        )
-    return CompressedField(pattern=pattern, values=values.astype(np.float64))
+    values = _decode_values(
+        view, offset, value_dtype, pattern.sample_count, out
+    )
+    return CompressedField(pattern=pattern, values=values)
 
 
-def _deserialize_legacy(payload: bytes) -> CompressedField:
+def _deserialize_legacy(
+    view: memoryview, out: "np.ndarray | None" = None
+) -> CompressedField:
     """Decode the pre-magic headerless format (6 x int64, float64 values).
 
     Early serializations led directly with the geometry fields and carried
@@ -129,13 +218,13 @@ def _deserialize_legacy(payload: bytes) -> CompressedField:
     validated, so garbage bytes are rejected rather than misparsed.
     """
     header_bytes = _LEGACY_HEADER_FIELDS * 8
-    if len(payload) < header_bytes:
+    if view.nbytes < header_bytes:
         raise ConfigurationError(
-            f"payload of {len(payload)} bytes is shorter than the "
+            f"payload of {view.nbytes} bytes is shorter than the "
             f"{header_bytes}-byte legacy header"
         )
     n, k, cx, cy, cz, num_cells = (
-        int(v) for v in np.frombuffer(payload[:header_bytes], dtype=np.int64)
+        int(v) for v in np.frombuffer(view[:header_bytes], dtype=np.int64)
     )
     if not 0 < n <= (1 << 20):
         raise ConfigurationError(f"implausible grid size {n} at offset 0")
@@ -153,7 +242,7 @@ def _deserialize_legacy(payload: bytes) -> CompressedField:
         )
     try:
         return _decode_body(
-            payload, header_bytes, n, k, (cx, cy, cz), num_cells, np.float64
+            view, header_bytes, n, k, (cx, cy, cz), num_cells, np.float64, out
         )
     except ConfigurationError:
         raise
@@ -164,36 +253,30 @@ def _deserialize_legacy(payload: bytes) -> CompressedField:
         ) from exc
 
 
-def deserialize_compressed(payload: bytes) -> CompressedField:
-    """Decode the wire representation back into a :class:`CompressedField`.
-
-    Validates the magic number, version, counts, and total length, and
-    re-checks the octree cumulative-count invariant during decoding.
-    Legacy headerless payloads (pre-magic format) are still accepted, with
-    a :class:`DeprecationWarning`; anything else that fails validation
-    raises :class:`~repro.errors.ConfigurationError` naming the byte
-    offset of the first problem.
-    """
+def _deserialize(
+    payload: Payload, out: "np.ndarray | None" = None
+) -> CompressedField:
+    view = _as_view(payload)
     header_bytes = _HEADER_FIELDS * 8
-    if len(payload) < header_bytes:
+    if view.nbytes < header_bytes:
         # Too short for a v2 header — it may still be a tiny legacy record.
         try:
-            field = _deserialize_legacy(payload)
+            field = _deserialize_legacy(view, out)
         except ConfigurationError:
             raise ConfigurationError(
-                f"payload of {len(payload)} bytes shorter than the "
+                f"payload of {view.nbytes} bytes shorter than the "
                 f"{header_bytes}-byte header and not a legacy record"
             ) from None
         _warn_legacy()
         return field
-    header = np.frombuffer(payload[:header_bytes], dtype=np.int64)
+    header = np.frombuffer(view[:header_bytes], dtype=np.int64)
     magic, version, n, k, cx, cy, cz, num_cells, prec_code = (
         int(v) for v in header
     )
     if magic != _MAGIC:
         # No magic: either the legacy headerless format or garbage.
         try:
-            field = _deserialize_legacy(payload)
+            field = _deserialize_legacy(view, out)
         except ConfigurationError as legacy_exc:
             raise ConfigurationError(
                 f"bad magic 0x{magic & 0xFFFFFFFFFFFFFFFF:016X} at offset 0 "
@@ -217,14 +300,56 @@ def deserialize_compressed(payload: bytes) -> CompressedField:
             f"unknown precision code {prec_code} at offset 64"
         )
     return _decode_body(
-        payload,
+        view,
         header_bytes,
         n,
         k,
         (cx, cy, cz),
         num_cells,
         _PRECISION_DTYPES[prec_code],
+        out,
     )
+
+
+def deserialize_compressed(payload: Payload) -> CompressedField:
+    """Decode the wire representation back into a :class:`CompressedField`.
+
+    Accepts any bytes-like payload (``bytes``, ``bytearray``, or a
+    ``memoryview`` over a receive arena).  Float64 values *alias* the
+    payload buffer — no copy is made, so the buffer must stay alive and
+    unmodified for the field's lifetime (receive arenas hand ownership of
+    a frame's payload slab to the decoded field for exactly this reason).
+
+    Validates the magic number, version, counts, and total length, and
+    re-checks the octree cumulative-count invariant during decoding.
+    Legacy headerless payloads (pre-magic format) are still accepted, with
+    a :class:`DeprecationWarning`; anything else that fails validation
+    raises :class:`~repro.errors.ConfigurationError` naming the byte
+    offset of the first problem.
+    """
+    return _deserialize(payload)
+
+
+def deserialize_into(payload: Payload, out: np.ndarray) -> CompressedField:
+    """Decode ``payload`` writing the values into caller-owned storage.
+
+    ``out`` must be a writable, contiguous 1-D float64 array with at
+    least as many elements as the payload carries; the returned field's
+    ``values`` is ``out[:m]``.  Use this to decode into a preallocated
+    receive arena that outlives the transport's frame buffers — the one
+    deliberate copy is counted at the ``arena.deserialize_into`` site.
+    """
+    out = np.asarray(out)
+    if out.dtype != np.float64 or out.ndim != 1:
+        raise ConfigurationError(
+            f"deserialize_into needs a 1-D float64 output array, got "
+            f"ndim={out.ndim} dtype={out.dtype}"
+        )
+    if not out.flags.writeable or not out.flags.c_contiguous:
+        raise ConfigurationError(
+            "deserialize_into needs a writable C-contiguous output array"
+        )
+    return _deserialize(payload, out)
 
 
 def _warn_legacy() -> None:
@@ -233,5 +358,5 @@ def _warn_legacy() -> None:
         "re-serialize with serialize_compressed() to add the magic/version "
         "header",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=4,
     )

@@ -1,0 +1,12 @@
+"""WIRE002 positive fixture: buffer copies on a dist/ hot path."""
+
+
+def send_all(sock, view, segments):
+    data = bytes(view)  # finding: materializes the memoryview
+    sock.sendall(data)
+    blob = b"".join(segments)  # finding: concatenates the segments
+    return blob
+
+
+def reframe(header, payload):
+    return bytes(memoryview(payload))  # finding: copy of a fresh view

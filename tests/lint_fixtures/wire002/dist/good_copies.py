@@ -1,0 +1,15 @@
+"""WIRE002 negative fixture: allocation and audited joins stay silent."""
+
+from repro.util import copytrack
+
+
+def scratch_buffers(names, segments):
+    header = bytes(20)  # allocation, not a copy
+    empty = bytes()  # no-arg allocation
+    label = ", ".join(names)  # str join is not a payload concat
+    blob = copytrack.measured_join(segments, site="ckpt.blob_join")
+    return header, empty, label, blob
+
+
+def encoded(text):
+    return bytes(text, "utf8")  # two-arg str encode form

@@ -1,0 +1,6 @@
+"""WIRE002 scope fixture: the same constructs outside dist/ are fine."""
+
+
+def cold_path(view, segments):
+    data = bytes(view)  # out of scope: not under dist/, not serialize.py
+    return data + b"".join(segments)

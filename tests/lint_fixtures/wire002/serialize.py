@@ -1,0 +1,5 @@
+"""WIRE002 basename scoping fixture: any serialize.py is a hot path."""
+
+
+def flatten(view):
+    return bytes(view)  # finding: serialize.py is in scope by basename

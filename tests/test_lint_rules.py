@@ -127,6 +127,39 @@ class TestWireConstantRule:
         assert "FRAME_MAGIC" in findings[0].message
 
 
+class TestWireCopyRule:
+    def test_fires_on_bytes_and_join_under_dist(self):
+        _, findings = lint_with("WIRE002", "wire002/dist/bad_copies.py")
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "bytes(...)" in messages
+        assert "measured_join" in messages
+        assert "Segments" in messages
+
+    def test_silent_on_allocations_and_audited_joins(self):
+        _, findings = lint_with("WIRE002", "wire002/dist/good_copies.py")
+        assert findings == []
+
+    def test_serialize_basename_is_in_scope(self):
+        _, findings = lint_with("WIRE002", "wire002/serialize.py")
+        assert len(findings) == 1
+
+    def test_out_of_scope_outside_dist(self):
+        _, findings = lint_with("WIRE002", "wire002/outside.py")
+        assert findings == []
+
+    def test_disable_comment_suppresses(self, tmp_path):
+        mod = tmp_path / "dist"
+        mod.mkdir()
+        cold = mod / "cold.py"
+        cold.write_text(
+            "def snapshot(view):\n"
+            "    return bytes(view)  # repro-lint: disable=WIRE002\n"
+        )
+        engine = LintEngine([rule_by_id("WIRE002")])
+        assert engine.run([cold]) == []
+
+
 class TestExportHygieneRule:
     def test_fires_on_unpledged_and_ghost_names(self):
         _, findings = lint_with("API001", "api001/bad_exports.py")
