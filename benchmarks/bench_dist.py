@@ -34,15 +34,15 @@ least a quarter of the exchange's send wall-time hides behind compute.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_dist.py [--overlap]
+    PYTHONPATH=src python benchmarks/bench_dist.py \
+        [--overlap] [--repeats N] [--output PATH] [--quick]
+
+``--quick`` shrinks the sweep to the local transport at P in {1, 2}
+(same schema, no TCP process spawns) for smoke runs.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
-import platform
 import statistics
 import time
 from pathlib import Path
@@ -55,15 +55,18 @@ from repro.octree.compress import CompressedField
 from repro.octree.sampling import build_flat_pattern
 from repro.octree.serialize import serialize_compressed, serialize_segments
 from repro.util import copytrack
+from repro.xpr.registry import bench_argument_parser
+from repro.xpr.store import bench_envelope, write_bench
 
 N, K, SIGMA, POLICY, REPEATS, SEED = 32, 8, 2.0, "flat:2", 3, 0
 RANK_COUNTS = (1, 2, 4)
 TRANSPORTS = ("local", "tcp")
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
 
 
-def _run_config(config, field, spectrum, serial):
+def _run_config(config, field, spectrum, serial, repeats=REPEATS):
     times, reports = [], []
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         t0 = time.perf_counter()
         report = dist_run(config, field=field, spectrum=spectrum)
         times.append(time.perf_counter() - t0)
@@ -146,7 +149,15 @@ def _serialization_section() -> dict:
     return section
 
 
-def main(overlap: bool = False) -> dict:
+def main(
+    overlap: bool = False,
+    repeats: int = REPEATS,
+    output: Path | str = DEFAULT_OUTPUT,
+    quick: bool = False,
+) -> dict:
+    transports = ("local",) if quick else TRANSPORTS
+    rank_counts = (1, 2) if quick else RANK_COUNTS
+    headline = "local_p2" if quick else "tcp_p4"
     base = DistConfig(n=N, k=K, sigma=SIGMA, policy=POLICY, seed=SEED)
     field = composite_field(N, SEED)
     spectrum = default_spectrum(base)
@@ -154,8 +165,8 @@ def main(overlap: bool = False) -> dict:
 
     modes = (False, True) if overlap else (False,)
     results = {}
-    for transport in TRANSPORTS:
-        for ranks in RANK_COUNTS:
+    for transport in transports:
+        for ranks in rank_counts:
             for streamed in modes:
                 config = DistConfig(
                     n=N,
@@ -168,7 +179,7 @@ def main(overlap: bool = False) -> dict:
                     overlap=streamed,
                 )
                 median, times, reports = _run_config(
-                    config, field, spectrum, serial
+                    config, field, spectrum, serial, repeats
                 )
                 report = reports[-1]
                 name = f"{transport}_p{ranks}" + ("_overlap" if streamed else "")
@@ -196,42 +207,40 @@ def main(overlap: bool = False) -> dict:
                     f"ratio {report.wire_over_model:.4f}{extra}"
                 )
 
+    sim_ranks = max(rank_counts)
     sim = simulated_crosscheck(
         DistConfig(
-            n=N, k=K, sigma=SIGMA, policy=POLICY, seed=SEED, num_ranks=4
+            n=N, k=K, sigma=SIGMA, policy=POLICY, seed=SEED,
+            num_ranks=sim_ranks,
         ),
         field=field,
         spectrum=spectrum,
     )
 
-    # Shared bench schema (same top-level keys as BENCH_pipeline.json /
-    # BENCH_serve.json) so files are machine-comparable.
-    report = {
-        "bench": "dist",
-        "n": N,
-        "k": K,
-        "sigma": SIGMA,
-        "repeats": REPEATS,
-        "policy": POLICY,
-        "cpu_count": os.cpu_count(),
-        "workers_used": max(RANK_COUNTS),
-        "python": platform.python_version(),
-        "results": results,
-        "serialization": _serialization_section(),
-        "speedup": {
-            "tcp_p4_vs_p1": results["tcp_p1"]["median_s"]
-            / results["tcp_p4"]["median_s"],
-            "local_p4_vs_p1": results["local_p1"]["median_s"]
-            / results["local_p4"]["median_s"],
+    top = max(rank_counts)
+    report = bench_envelope(
+        "dist",
+        n=N,
+        k=K,
+        repeats=repeats,
+        results=results,
+        workers_used=top,
+        sigma=SIGMA,
+        policy=POLICY,
+        serialization=_serialization_section(),
+        speedup={
+            f"{t}_p{top}_vs_p1": results[f"{t}_p1"]["median_s"]
+            / results[f"{t}_p{top}"]["median_s"]
+            for t in transports
         },
-        "crosscheck": {
+        crosscheck={
             "simulated_allgather_bytes": sim["allgather_bytes"],
             "simulated_allgather_rounds": sim["allgather_rounds"],
-            "predicted_value_bytes_p4": results["tcp_p4"][
+            f"predicted_value_bytes_p{sim_ranks}": results[headline][
                 "predicted_value_bytes"
             ],
         },
-    }
+    )
     if overlap:
         # Headline A/B on a dense balanced field: every rank streams a
         # full 16-chunk share — the load the overlap path is built for.
@@ -246,47 +255,47 @@ def main(overlap: bool = False) -> dict:
             "window": DistConfig(n=N, k=K).window,
             "hidden_frac_bar": 0.25,
         }
-        for transport in TRANSPORTS:
+        for transport in transports:
             kwargs = dict(
                 n=N,
                 k=K,
                 sigma=SIGMA,
                 policy=POLICY,
                 seed=SEED,
-                num_ranks=4,
+                num_ranks=top,
                 transport=transport,
             )
             med_b, _, _ = _run_config(
-                DistConfig(**kwargs), dense, spectrum, dense_serial
+                DistConfig(**kwargs), dense, spectrum, dense_serial, repeats
             )
             med_s, _, reports_s = _run_config(
                 DistConfig(overlap=True, **kwargs),
                 dense,
                 spectrum,
                 dense_serial,
+                repeats,
             )
-            section[f"{transport}_p4"] = {
+            section[f"{transport}_p{top}"] = {
                 "barrier_median_s": med_b,
                 "overlap_median_s": med_s,
                 **_hidden_stats(reports_s),
             }
         report["overlap"] = section
-    out = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    ratio = results["tcp_p4"]["wire_over_model"]
+    out = write_bench(report, output)
+    ratio = results[headline]["wire_over_model"]
     print(
-        f"\ntcp 4-rank wire/model {ratio:.4f} (bar: <= 1.05), "
+        f"\n{headline} wire/model {ratio:.4f} (bar: <= 1.05), "
         f"sim allgather == model: "
-        f"{sim['allgather_bytes'] == results['tcp_p4']['predicted_value_bytes']}"
+        f"{sim['allgather_bytes'] == results[headline]['predicted_value_bytes']}"
         f" -> {out.name}"
     )
     if overlap:
-        frac = report["overlap"]["tcp_p4"]["hidden_frac"]
+        frac = report["overlap"][headline]["hidden_frac"]
         print(
-            f"tcp 4-rank streamed exchange (dense field): {frac:.1%} of "
+            f"{headline} streamed exchange (dense field): {frac:.1%} of "
             f"send wall-time hidden behind compute (bar: >= 25%)"
         )
-        if frac < 0.25:
+        if not quick and frac < 0.25:
             raise AssertionError(
                 f"overlap bar missed: hidden_frac {frac:.3f} < 0.25"
             )
@@ -294,11 +303,19 @@ def main(overlap: bool = False) -> dict:
 
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = bench_argument_parser(
+        __doc__, default_output=str(DEFAULT_OUTPUT), default_repeats=REPEATS
+    )
     parser.add_argument(
         "--overlap",
         action="store_true",
         help="also run every configuration in streamed (overlap) mode "
         "and record exchange-hidden-time A/B numbers",
     )
-    main(overlap=parser.parse_args().overlap)
+    args = parser.parse_args()
+    main(
+        overlap=args.overlap,
+        repeats=args.repeats,
+        output=args.output,
+        quick=args.quick,
+    )

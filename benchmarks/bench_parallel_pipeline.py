@@ -7,21 +7,21 @@ pipeline at n=64, k=16 in three configurations —
 - ``serial_hermitian`` — one process, half-spectrum (real-kernel) path;
 - ``parallel``         — process-pool fan-out (Hermitian path), all cores;
 
-takes the median of 5 runs each, and writes ``BENCH_pipeline.json`` at the
-repository root with the raw times, speedup ratios, and the max-abs error
-of each configuration against the dense reference convolution (they must
-agree: the fast paths are reorderings, not approximations).
+takes the median of ``--repeats`` runs each, and writes
+``BENCH_pipeline.json`` (shared envelope schema via
+:func:`repro.xpr.store.write_bench`) with the raw times, speedup ratios,
+and the max-abs error of each configuration against the dense reference
+convolution (they must agree: the fast paths are reorderings, not
+approximations).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_parallel_pipeline.py
+    PYTHONPATH=src python benchmarks/bench_parallel_pipeline.py \
+        [--repeats N] [--output PATH] [--quick]
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import statistics
 import time
 from pathlib import Path
@@ -33,11 +33,14 @@ from repro.core.pipeline import LowCommConvolution3D
 from repro.core.policy import SamplingPolicy
 from repro.core.reference import reference_convolve
 from repro.kernels.gaussian import GaussianKernel
+from repro.xpr.registry import bench_argument_parser
+from repro.xpr.store import bench_envelope, write_bench
 
 N, K, SIGMA, REPEATS, SEED = 64, 16, 2.0, 5, 0
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 
-def _median_time(fn, repeats: int = REPEATS):
+def _median_time(fn, repeats: int):
     times = []
     result = None
     for _ in range(repeats):
@@ -47,20 +50,25 @@ def _median_time(fn, repeats: int = REPEATS):
     return statistics.median(times), times, result
 
 
-def main() -> dict:
+def main(
+    repeats: int = REPEATS,
+    output: Path | str = DEFAULT_OUTPUT,
+    quick: bool = False,
+) -> dict:
+    n, k = (32, 8) if quick else (N, K)
     rng = np.random.default_rng(SEED)
     # Fully-active field: every sub-domain carries signal, so the timings
     # measure steady-state convolution throughput, not sparsity skipping.
-    field = rng.standard_normal((N, N, N))
-    spectrum = GaussianKernel(n=N, sigma=SIGMA).spectrum()
+    field = rng.standard_normal((n, n, n))
+    spectrum = GaussianKernel(n=n, sigma=SIGMA).spectrum()
     exact = reference_convolve(field, spectrum)
     policy = SamplingPolicy.flat_rate(2)
 
     serial = LowCommConvolution3D(
-        N, K, spectrum, policy, batch=4096, real_kernel=False
+        n, k, spectrum, policy, batch=4096, real_kernel=False
     )
     hermitian = LowCommConvolution3D(
-        N, K, spectrum, policy, batch=4096, real_kernel=True
+        n, k, spectrum, policy, batch=4096, real_kernel=True
     )
 
     results = {}
@@ -70,7 +78,7 @@ def main() -> dict:
         ("parallel", lambda: hermitian.run_parallel(field)),
     ]
     for name, fn in configs:
-        median, times, res = _median_time(fn)
+        median, times, res = _median_time(fn, repeats)
         err = float(np.max(np.abs(res.approx - exact)))
         results[name] = {
             "median_s": median,
@@ -79,28 +87,23 @@ def main() -> dict:
         }
         print(f"{name:18s} median {median:7.3f} s  max|err| {err:.3e}")
 
-    # Shared bench schema (same top-level keys as BENCH_serve.json — see
-    # repro.serve.loadgen.bench_report_json) so files are machine-comparable.
-    report = {
-        "bench": "pipeline",
-        "n": N,
-        "k": K,
-        "sigma": SIGMA,
-        "repeats": REPEATS,
-        "policy": "flat:2",
-        "cpu_count": os.cpu_count(),
-        "workers_used": resolve_workers((N // K) ** 3),
-        "python": platform.python_version(),
-        "results": results,
-        "speedup": {
+    report = bench_envelope(
+        "pipeline",
+        n=n,
+        k=k,
+        repeats=repeats,
+        results=results,
+        workers_used=resolve_workers((n // k) ** 3),
+        sigma=SIGMA,
+        policy="flat:2",
+        speedup={
             "hermitian_vs_serial": results["serial"]["median_s"]
             / results["serial_hermitian"]["median_s"],
             "parallel_vs_serial": results["serial"]["median_s"]
             / results["parallel"]["median_s"],
         },
-    }
-    out = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    )
+    out = write_bench(report, output)
     print(f"\nhermitian speedup {report['speedup']['hermitian_vs_serial']:.2f}x, "
           f"parallel speedup {report['speedup']['parallel_vs_serial']:.2f}x "
           f"({report['cpu_count']} cores) -> {out.name}")
@@ -108,4 +111,8 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    parser = bench_argument_parser(
+        __doc__, default_output=str(DEFAULT_OUTPUT), default_repeats=REPEATS
+    )
+    args = parser.parse_args()
+    main(repeats=args.repeats, output=args.output, quick=args.quick)

@@ -16,14 +16,15 @@ artifact alongside the other bench reports).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_serialize.py
+    PYTHONPATH=src python benchmarks/bench_serialize.py \
+        [--repeats ENCODE_ITERS] [--output PATH] [--quick]
+
+``--repeats`` sets the encode iteration count (decode runs a quarter of
+it); ``--quick`` divides both by 10 for smoke runs.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import time
 from pathlib import Path
 
@@ -38,9 +39,12 @@ from repro.octree.serialize import (
     serialize_segments,
 )
 from repro.util import copytrack
+from repro.xpr.registry import bench_argument_parser
+from repro.xpr.store import bench_envelope, write_bench
 
 N, K, RATE, SEED = 32, 8, 2, 0
 ENCODE_ITERS, DECODE_ITERS = 2000, 500
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serialize.json"
 
 
 def _reference_field() -> CompressedField:
@@ -87,7 +91,13 @@ def _bench(name: str, fn, iters: int, payload_bytes: int) -> dict:
     return entry
 
 
-def main() -> dict:
+def main(
+    repeats: int = ENCODE_ITERS,
+    output: Path | str = DEFAULT_OUTPUT,
+    quick: bool = False,
+) -> dict:
+    encode_iters = max(1, repeats // 10) if quick else repeats
+    decode_iters = max(1, encode_iters // 4)
     field = _reference_field()
     payload = serialize_compressed(field)
     payload32 = serialize_compressed(field, precision="float32")
@@ -98,28 +108,28 @@ def main() -> dict:
     results = {
         "encode_segments": _bench(
             "encode segments f64", lambda: serialize_segments(field),
-            ENCODE_ITERS, size,
+            encode_iters, size,
         ),
         "encode_contiguous": _bench(
             "encode contiguous f64", lambda: serialize_compressed(field),
-            ENCODE_ITERS, size,
+            encode_iters, size,
         ),
         "encode_segments_float32": _bench(
             "encode segments f32",
             lambda: serialize_segments(field, precision="float32"),
-            ENCODE_ITERS, size32,
+            encode_iters, size32,
         ),
         "decode_zero_copy": _bench(
             "decode zero-copy f64", lambda: deserialize_compressed(payload),
-            DECODE_ITERS, size,
+            decode_iters, size,
         ),
         "decode_into_arena": _bench(
             "decode into arena", lambda: deserialize_into(payload, arena),
-            DECODE_ITERS, size,
+            decode_iters, size,
         ),
         "decode_float32": _bench(
             "decode f32 promote", lambda: deserialize_compressed(payload32),
-            DECODE_ITERS, size32,
+            decode_iters, size32,
         ),
     }
 
@@ -127,22 +137,20 @@ def main() -> dict:
     assert results["encode_segments"]["copies"]["total_bytes"] == 0
     assert results["decode_zero_copy"]["copies"]["total_bytes"] == 0
 
-    report = {
-        "bench": "serialize",
-        "n": N,
-        "k": K,
-        "rate": RATE,
-        "sample_count": m,
-        "payload_bytes": size,
-        "payload_bytes_float32": size32,
-        "encode_iters": ENCODE_ITERS,
-        "decode_iters": DECODE_ITERS,
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-        "results": results,
-    }
-    out = Path(__file__).resolve().parent.parent / "BENCH_serialize.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    report = bench_envelope(
+        "serialize",
+        n=N,
+        k=K,
+        repeats=encode_iters,
+        results=results,
+        rate=RATE,
+        sample_count=m,
+        payload_bytes=size,
+        payload_bytes_float32=size32,
+        encode_iters=encode_iters,
+        decode_iters=decode_iters,
+    )
+    out = write_bench(report, output)
     speedup = (
         results["encode_segments"]["mb_per_s"]
         / results["encode_contiguous"]["mb_per_s"]
@@ -155,4 +163,12 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    parser = bench_argument_parser(
+        __doc__,
+        default_output=str(DEFAULT_OUTPUT),
+        default_repeats=ENCODE_ITERS,
+        repeats_help=f"encode iterations (default {ENCODE_ITERS}; decode "
+        "runs a quarter of them)",
+    )
+    args = parser.parse_args()
+    main(repeats=args.repeats, output=args.output, quick=args.quick)

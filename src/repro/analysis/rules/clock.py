@@ -1,16 +1,16 @@
-"""CLK001: direct wall-clock reads inside the serving layer.
+"""CLK001: direct wall-clock reads inside clock-injected layers.
 
-Everything in :mod:`repro.serve` is specified to read time through the
-injectable :class:`repro.serve.clock.Clock` so scheduler flushes,
-deadlines, and retry backoffs are testable with a
-:class:`~repro.serve.clock.ManualClock` and zero real sleeps.  One stray
-``time.monotonic()`` re-introduces wall-clock nondeterminism into a path
-the tests believe is virtual — the kind of drift that only shows up as a
-flaky deadline test months later.
+Everything in :mod:`repro.serve` and :mod:`repro.xpr` is specified to
+read time through the injectable :class:`repro.serve.clock.Clock` so
+scheduler flushes, deadlines, trial timings, and gate evaluation are
+testable with a :class:`~repro.serve.clock.ManualClock` and zero real
+sleeps.  One stray ``time.monotonic()`` re-introduces wall-clock
+nondeterminism into a path the tests believe is virtual — the kind of
+drift that only shows up as a flaky deadline test months later.
 
 This rule flags every call to ``time.time`` / ``time.monotonic`` /
 ``time.sleep`` / ``time.perf_counter`` (module-qualified or imported
-bare) in any file under a ``serve/`` directory, except
+bare) in any file under a ``serve/`` or ``xpr/`` directory, except
 ``serve/clock.py`` itself — the one sanctioned adapter between the
 :class:`Clock` interface and the real clock.
 """
@@ -23,19 +23,25 @@ from typing import List
 from repro.analysis.engine import FileContext, Finding
 from repro.analysis.rules.base import Rule
 
-#: ``time`` module functions the serving layer must not call directly.
+#: ``time`` module functions clock-injected layers must not call directly.
 _CLOCK_FUNCS = frozenset({"time", "monotonic", "sleep", "perf_counter"})
+
+#: Directory names whose Python files are held to the injectable-Clock
+#: contract (the serving layer and the experiment orchestrator).
+_CLOCKED_TREES = frozenset({"serve", "xpr"})
 
 
 class InjectableClockRule(Rule):
-    """CLK001: serve/ code must use the injectable Clock, not ``time.*``."""
+    """CLK001: serve/ and xpr/ code must use the injectable Clock, not ``time.*``."""
 
     rule_id = "CLK001"
-    description = "serving layer reads time only through serve.clock"
+    description = "serve/ and xpr/ read time only through serve.clock"
 
     def check_file(self, ctx: FileContext) -> List[Finding]:
-        """Flag direct wall-clock calls in serve/ modules."""
-        if "serve" not in ctx.parts or ctx.parts[-1] == "clock.py":
+        """Flag direct wall-clock calls in serve/ and xpr/ modules."""
+        if not _CLOCKED_TREES & set(ctx.parts) or (
+            "serve" in ctx.parts and ctx.parts[-1] == "clock.py"
+        ):
             return []
         imported_bare = {
             alias.asname or alias.name
@@ -64,10 +70,10 @@ class InjectableClockRule(Rule):
                     self.finding(
                         ctx,
                         node,
-                        f"direct {name}() in the serving layer — inject a "
-                        "repro.serve.clock.Clock and call clock.now() / "
-                        "clock.sleep() so the path stays deterministic "
-                        "under ManualClock",
+                        f"direct {name}() in a clock-injected layer — "
+                        "inject a repro.serve.clock.Clock and call "
+                        "clock.now() / clock.sleep() so the path stays "
+                        "deterministic under ManualClock",
                     )
                 )
         return findings

@@ -20,6 +20,9 @@ Usage::
     python -m repro dist-run --ranks 4 --transport tcp
                                     # real multi-process SPMD run
     python -m repro lint src tests  # project-specific static analysis
+    python -m repro xpr run --experiment ref-quick
+                                    # drain an experiment grid
+    python -m repro xpr gate        # fail on perf regression vs history
 
 Exit codes: 0 on success, 1 when ``lint`` reports findings, 2 on bad
 arguments or configuration errors (argparse errors also exit 2), with a
@@ -250,15 +253,13 @@ def _lint(args: argparse.Namespace) -> int:
 
 def _serve_bench(args: argparse.Namespace) -> None:
     """Benchmark batched serving against the naive per-request baseline."""
-    import json
-    from pathlib import Path
-
     from repro.serve.loadgen import (
         LoadSpec,
         bench_report_json,
         run_serve_benchmark,
     )
     from repro.serve.server import ServerConfig
+    from repro.xpr.store import write_bench
 
     spec = LoadSpec(
         n=args.n,
@@ -279,8 +280,7 @@ def _serve_bench(args: argparse.Namespace) -> None:
     )
     report = run_serve_benchmark(spec, config)
     payload = bench_report_json(spec, report, config)
-    out = Path(args.output)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench(payload, args.output)
     print(
         format_table(
             ["quantity", "value"],
@@ -317,6 +317,15 @@ COMMANDS: Dict[str, Callable[[], None]] = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["xpr"]:
+        # The xpr verb owns its own sub-command surface (run/report/gate/
+        # seed); hand it the rest of the argv before the experiment
+        # parser can reject its flags.
+        from repro.xpr.cli import xpr_main
+
+        return xpr_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate experiments from the low-communication "
@@ -325,12 +334,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(COMMANDS)
-        + ["all", "pipeline", "serve-bench", "dist-run", "lint"],
+        + ["all", "pipeline", "serve-bench", "dist-run", "lint", "xpr"],
         help="which experiment to run ('pipeline' runs the end-to-end "
         "convolution itself; 'serve-bench' benchmarks the batching "
         "service; 'dist-run' executes the pipeline as a real multi-process "
         "SPMD job; 'lint' runs the project-specific static analysis; "
-        "see the flag groups below)",
+        "'xpr' orchestrates experiment grids and regression gates — "
+        "see 'repro xpr --help'; see the flag groups below)",
     )
     parser.add_argument(
         "paths",

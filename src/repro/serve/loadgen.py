@@ -22,8 +22,6 @@ claim measured end to end.  The report schema matches
 
 from __future__ import annotations
 
-import os
-import platform
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional
 
@@ -224,24 +222,30 @@ def run_serve_benchmark(
 
 def bench_report_json(spec: LoadSpec, report: BenchReport,
                       config: ServerConfig) -> dict:
-    """Assemble the ``BENCH_serve.json`` payload (shared bench schema)."""
+    """Assemble the ``BENCH_serve.json`` payload (shared bench schema).
+
+    The envelope (``bench``/``n``/``k``/``cpu_count``/``workers_used``/
+    ``python``/``results``) comes from
+    :func:`repro.xpr.store.bench_envelope`, the one writer all bench
+    reports share.
+    """
+    from repro.xpr.store import bench_envelope
+
     requests = spec.num_requests
     workers_used = (
         resolve_workers((spec.n // spec.k) ** 3, config.max_workers)
         if config.mode == "parallel"
         else 1
     )
-    return {
-        "bench": "serve",
-        "n": spec.n,
-        "k": spec.k,
-        "sigma": spec.sigma,
-        "repeats": 1,
-        "policy": spec.policy,
-        "cpu_count": os.cpu_count(),
-        "workers_used": workers_used,
-        "python": platform.python_version(),
-        "results": {
+    return bench_envelope(
+        "serve",
+        n=spec.n,
+        k=spec.k,
+        repeats=1,
+        workers_used=workers_used,
+        sigma=spec.sigma,
+        policy=spec.policy,
+        results={
             "naive": {
                 "median_s": report.naive_s,
                 "times_s": [report.naive_s],
@@ -253,8 +257,8 @@ def bench_report_json(spec: LoadSpec, report: BenchReport,
                 "throughput_rps": requests / report.batched_s,
             },
         },
-        "speedup": {"batched_vs_naive": report.speedup},
-        "serve": {
+        speedup={"batched_vs_naive": report.speedup},
+        serve={
             "requests": requests,
             "num_kernels": spec.num_kernels,
             "seed": spec.seed,
@@ -266,4 +270,4 @@ def bench_report_json(spec: LoadSpec, report: BenchReport,
             "bitwise_identical": report.bitwise_identical,
             "metrics": report.metrics,
         },
-    }
+    )

@@ -1,0 +1,181 @@
+"""Trajectory reports: per-metric trend tables in markdown or HTML.
+
+:class:`TrajectoryReport` is a lazy-property view over a
+:class:`~repro.xpr.store.TrajectoryStore`: the store is read once on
+first access (``records`` is a :func:`functools.cached_property`), and
+every table is derived from that snapshot.  Rendering is **pure** —
+fixed float formatting, trials in first-seen order, metrics sorted — so
+the same store bytes always render the same report bytes (pinned by
+test), and CI can diff two uploaded reports line by line.
+
+The per-metric trend row shows the trial's full history at a glance:
+how many runs exist, the first and latest values, the median, and the
+latest value's change against the median of everything before it (the
+same baseline definition :mod:`repro.xpr.gate` enforces).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import statistics
+from functools import cached_property
+from typing import Dict, List, Optional
+
+from repro.xpr.gate import trial_label
+from repro.xpr.store import TrajectoryStore, TrialRecord
+
+#: Columns of the per-metric trend table, in render order.
+TREND_COLUMNS = (
+    "trial", "config", "metric", "runs", "first", "median", "latest",
+    "delta",
+)
+
+
+def _fmt(value: float) -> str:
+    """Fixed numeric formatting so report bytes are reproducible."""
+    return f"{value:.6g}"
+
+
+def _delta(history: List[float], latest: float) -> str:
+    """Latest vs median-of-previous, as a signed percent (or ``new``)."""
+    if not history:
+        return "new"
+    baseline = statistics.median(history)
+    if baseline == 0.0:
+        return "0.0%" if latest == 0.0 else "+inf%"
+    change = (latest - baseline) / abs(baseline) * 100.0
+    if not math.isfinite(change):
+        return "+inf%"
+    return f"{change:+.1f}%"
+
+
+class TrajectoryReport:
+    """Lazy trend view over one experiment (or the whole store)."""
+
+    def __init__(
+        self, store: TrajectoryStore, experiment: Optional[str] = None
+    ):
+        self.store = store
+        self.experiment = experiment
+
+    @cached_property
+    def records(self) -> List[TrialRecord]:
+        """The store snapshot this report renders (read exactly once)."""
+        records = self.store.records()
+        if self.experiment is not None:
+            records = [
+                r for r in records if r.experiment == self.experiment
+            ]
+        return records
+
+    @cached_property
+    def experiments(self) -> List[str]:
+        """Experiments covered, sorted for deterministic section order."""
+        return sorted({r.experiment for r in self.records})
+
+    @cached_property
+    def failures(self) -> List[TrialRecord]:
+        """Records whose execution did not complete (newest last)."""
+        return [r for r in self.records if r.status != "ok"]
+
+    def trend_rows(self, experiment: str) -> List[List[str]]:
+        """Trend-table rows for one experiment (see module docstring)."""
+        by_trial: Dict[str, List[TrialRecord]] = {}
+        for record in self.records:
+            if record.experiment == experiment and record.status == "ok":
+                by_trial.setdefault(record.trial_id, []).append(record)
+        rows = []
+        for trial_id, history in by_trial.items():
+            label = trial_label(history[-1].params)
+            metrics = sorted(
+                {m for record in history for m in record.metrics}
+            )
+            for metric in metrics:
+                values = [
+                    r.metrics[metric] for r in history if metric in r.metrics
+                ]
+                rows.append(
+                    [
+                        trial_id,
+                        label,
+                        metric,
+                        str(len(values)),
+                        _fmt(values[0]),
+                        _fmt(statistics.median(values)),
+                        _fmt(values[-1]),
+                        _delta(values[:-1], values[-1]),
+                    ]
+                )
+        return rows
+
+    def to_markdown(self) -> str:
+        """The full report as GitHub-flavored markdown."""
+        lines = ["# xpr trajectory report", ""]
+        lines.append(
+            f"{len(self.records)} record(s) across "
+            f"{len(self.experiments)} experiment(s) in "
+            f"`{self.store.path.name}`."
+        )
+        for experiment in self.experiments:
+            lines += ["", f"## {experiment}", ""]
+            rows = self.trend_rows(experiment)
+            if not rows:
+                lines.append("_no completed runs recorded_")
+                continue
+            lines.append("| " + " | ".join(TREND_COLUMNS) + " |")
+            lines.append("|" + "---|" * len(TREND_COLUMNS))
+            lines += ["| " + " | ".join(row) + " |" for row in rows]
+        if self.failures:
+            lines += ["", "## failed runs", ""]
+            for record in self.failures:
+                lines.append(
+                    f"- `{record.trial_id}` "
+                    f"({trial_label(record.params)}) [{record.experiment}]"
+                    f" {record.status}: {record.error or 'no detail'}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def to_html(self) -> str:
+        """The same report as a self-contained HTML document."""
+        parts = [
+            "<!DOCTYPE html>",
+            "<html><head><meta charset='utf-8'>",
+            "<title>xpr trajectory report</title>",
+            "<style>table{border-collapse:collapse}"
+            "td,th{border:1px solid #999;padding:2px 8px;"
+            "font-family:monospace}</style>",
+            "</head><body>",
+            "<h1>xpr trajectory report</h1>",
+            f"<p>{len(self.records)} record(s) across "
+            f"{len(self.experiments)} experiment(s) in "
+            f"<code>{html.escape(self.store.path.name)}</code>.</p>",
+        ]
+        for experiment in self.experiments:
+            parts.append(f"<h2>{html.escape(experiment)}</h2>")
+            rows = self.trend_rows(experiment)
+            if not rows:
+                parts.append("<p><em>no completed runs recorded</em></p>")
+                continue
+            parts.append("<table><tr>")
+            parts += [f"<th>{c}</th>" for c in TREND_COLUMNS]
+            parts.append("</tr>")
+            for row in rows:
+                parts.append(
+                    "<tr>"
+                    + "".join(f"<td>{html.escape(c)}</td>" for c in row)
+                    + "</tr>"
+                )
+            parts.append("</table>")
+        if self.failures:
+            parts.append("<h2>failed runs</h2><ul>")
+            for record in self.failures:
+                parts.append(
+                    f"<li><code>{html.escape(record.trial_id)}</code> "
+                    f"({html.escape(trial_label(record.params))}) "
+                    f"[{html.escape(record.experiment)}] {record.status}: "
+                    f"{html.escape(record.error or 'no detail')}</li>"
+                )
+            parts.append("</ul>")
+        parts.append("</body></html>")
+        return "\n".join(parts) + "\n"

@@ -1,0 +1,292 @@
+"""Append-only JSONL trajectory store + the shared bench-report writer.
+
+The **trajectory** is the repository's perf memory: one JSON object per
+line, each recording one trial execution keyed by ``(experiment,
+trial_id, git_rev)``.  Appending is the only write operation — history
+is never rewritten, so the gate can always compare the newest record of
+a trial against the median of its predecessors.  The file is committed
+(``TRAJECTORY.jsonl`` at the repository root) so every checkout carries
+its own baseline.
+
+This module also owns the **shared bench schema**: every
+``BENCH_*.json`` writer (``bench_parallel_pipeline.py``, the serve-bench
+CLI path, ``bench_dist.py``, ``bench_serialize.py``) assembles its
+payload with :func:`bench_envelope` and writes it with
+:func:`write_bench`, so the common envelope keys (``bench``, ``n``,
+``k``, ``repeats``, ``cpu_count``, ``workers_used``, ``python``,
+``results``) are enforced in one place instead of four.
+:func:`seed_from_bench_files` converts those files into trajectory
+records, which is how the store got its day-one baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field as dataclass_field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.xpr.grid import content_id
+
+#: Version stamped into every trajectory record.
+SCHEMA_VERSION = 1
+
+#: Envelope keys every BENCH_*.json report must carry.
+BENCH_ENVELOPE_KEYS = frozenset(
+    {"bench", "n", "k", "repeats", "cpu_count", "workers_used", "python",
+     "results"}
+)
+
+
+def git_revision(root: Optional[Path] = None) -> str:
+    """Short git revision of ``root`` (cwd by default), or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def wall_timestamp() -> str:
+    """UTC wall-clock timestamp for record provenance (ISO-8601)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class TrialRecord:
+    """One trajectory line: a trial execution and its metrics."""
+
+    experiment: str
+    trial_id: str
+    git_rev: str = "unknown"
+    ts: str = ""
+    status: str = "ok"
+    params: Dict[str, object] = dataclass_field(default_factory=dict)
+    metrics: Dict[str, float] = dataclass_field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_json(self) -> dict:
+        """The stable line schema (sorted keys are the writer's job)."""
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "trial_id": self.trial_id,
+            "git_rev": self.git_rev,
+            "ts": self.ts,
+            "status": self.status,
+            "params": dict(self.params),
+            "metrics": dict(self.metrics),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, object]) -> "TrialRecord":
+        """Parse one line's document; unknown keys are ignored."""
+        try:
+            return cls(
+                experiment=str(doc["experiment"]),
+                trial_id=str(doc["trial_id"]),
+                git_rev=str(doc.get("git_rev", "unknown")),
+                ts=str(doc.get("ts", "")),
+                status=str(doc.get("status", "ok")),
+                params=dict(doc.get("params", {})),
+                metrics=dict(doc.get("metrics", {})),
+                error=doc.get("error"),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"trajectory record is missing required key {exc}"
+            ) from None
+
+
+class TrajectoryStore:
+    """Append-only JSONL store of :class:`TrialRecord` lines.
+
+    Reading tolerates a missing file (an empty trajectory); a malformed
+    line fails loudly with its line number — silent corruption of the
+    perf baseline is the one thing a regression gate cannot survive.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+
+    def append(self, record: TrialRecord) -> None:
+        """Append one record (creates the file on first write)."""
+        self.extend([record])
+
+    def extend(self, records: Iterable[TrialRecord]) -> None:
+        """Append many records in one write."""
+        lines = [
+            json.dumps(r.to_json(), sort_keys=True, separators=(",", ":"))
+            for r in records
+        ]
+        if not lines:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+    def records(self) -> List[TrialRecord]:
+        """Every record, in file (= chronological append) order."""
+        if not self.path.exists():
+            return []
+        out = []
+        for lineno, line in enumerate(
+            self.path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{self.path}:{lineno}: trajectory line does not "
+                    f"parse: {exc.msg}"
+                ) from None
+            out.append(TrialRecord.from_json(doc))
+        return out
+
+    def experiments(self) -> List[str]:
+        """Sorted experiment names present in the store."""
+        return sorted({r.experiment for r in self.records()})
+
+    def for_experiment(self, experiment: str) -> List[TrialRecord]:
+        """Records of one experiment, in append order."""
+        return [r for r in self.records() if r.experiment == experiment]
+
+    def history(self, experiment: str, trial_id: str) -> List[TrialRecord]:
+        """One trial's records (oldest first)."""
+        return [
+            r
+            for r in self.records()
+            if r.experiment == experiment and r.trial_id == trial_id
+        ]
+
+
+def bench_envelope(
+    bench: str,
+    *,
+    n: int,
+    k: int,
+    repeats: int,
+    results: Mapping[str, object],
+    workers_used: int = 1,
+    **extra: object,
+) -> dict:
+    """Assemble a BENCH_*.json payload with the shared envelope.
+
+    ``cpu_count`` and ``python`` are filled in here so no writer can
+    forget them; anything bench-specific rides along via ``extra``.
+    """
+    doc = {
+        "bench": bench,
+        "n": n,
+        "k": k,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "workers_used": workers_used,
+        "python": platform.python_version(),
+        "results": dict(results),
+    }
+    doc.update(extra)
+    return doc
+
+
+def write_bench(payload: Mapping[str, object], path: Path | str) -> Path:
+    """Validate the shared envelope and write one BENCH_*.json report."""
+    missing = sorted(BENCH_ENVELOPE_KEYS - set(payload))
+    if missing:
+        raise ConfigurationError(
+            f"bench report is missing envelope keys {missing}; assemble "
+            "payloads with repro.xpr.store.bench_envelope()"
+        )
+    out = Path(path)
+    out.write_text(json.dumps(dict(payload), indent=2) + "\n")
+    return out
+
+
+def _numeric_leaves(doc: Mapping[str, object]) -> Dict[str, float]:
+    """Flat numeric metrics from one bench result entry (lists skipped)."""
+    out: Dict[str, float] = {}
+    for key, value in doc.items():
+        if isinstance(value, bool):
+            out[key] = float(value)
+        elif isinstance(value, numbers.Real):
+            out[key] = float(value)
+        elif isinstance(value, Mapping):
+            for sub, subval in _numeric_leaves(value).items():
+                out[f"{key}.{sub}"] = subval
+    return out
+
+
+def seed_from_bench_files(
+    store: TrajectoryStore,
+    paths: Sequence[Path | str],
+    *,
+    git_rev: Optional[str] = None,
+    ts: Optional[str] = None,
+) -> List[TrialRecord]:
+    """Convert BENCH_*.json files into trajectory records and append them.
+
+    Each entry of a report's ``results`` section becomes one trial of
+    the experiment ``bench-<name>``; its id is the content hash of the
+    identifying parameters (bench name, configuration key, n, k), so
+    re-seeding from a regenerated file lands on the same trial history.
+    Returns the appended records.
+    """
+    git_rev = git_rev or git_revision()
+    ts = ts if ts is not None else wall_timestamp()
+    records = []
+    for path in paths:
+        p = Path(path)
+        try:
+            doc = json.loads(p.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot seed from {p}: {exc}") from None
+        bench = doc.get("bench") or p.stem.replace("BENCH_", "")
+        results = doc.get("results")
+        if not isinstance(results, Mapping):
+            raise ConfigurationError(
+                f"{p} has no 'results' section to seed from"
+            )
+        for config_name in sorted(results):
+            entry = results[config_name]
+            if not isinstance(entry, Mapping):
+                continue
+            params = {
+                "bench": bench,
+                "config": config_name,
+                "n": doc.get("n"),
+                "k": doc.get("k"),
+            }
+            metrics = _numeric_leaves(entry)
+            if not metrics:
+                continue
+            records.append(
+                TrialRecord(
+                    experiment=f"bench-{bench}",
+                    trial_id=content_id(params),
+                    git_rev=git_rev,
+                    ts=ts,
+                    status="ok",
+                    params=params,
+                    metrics=metrics,
+                )
+            )
+    store.extend(records)
+    return records

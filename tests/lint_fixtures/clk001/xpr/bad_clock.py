@@ -1,0 +1,14 @@
+"""CLK001 positive fixture: direct wall-clock reads in an xpr/ module."""
+
+import time
+from time import perf_counter
+
+
+def time_trial(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def bare_import_read():
+    return perf_counter()

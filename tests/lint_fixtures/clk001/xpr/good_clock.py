@@ -1,0 +1,13 @@
+"""CLK001 negative fixture: xpr timing flows through the injectable clock."""
+
+
+def time_trial(clock, fn):
+    t0 = clock.now()
+    fn()
+    return clock.now() - t0
+
+
+def join_with_timeout(thread, timeout_s):
+    # thread.join(timeout) is a scheduling primitive, not a clock read.
+    thread.join(timeout_s)
+    return thread.is_alive()

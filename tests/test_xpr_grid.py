@@ -1,0 +1,160 @@
+"""Grid expansion: determinism, stable content-hash ids, loud validation.
+
+The experiment grid is the reproducibility anchor of the xpr subsystem:
+the same declaration must expand to the same trials in the same order
+with the same ids on every machine, and any malformed declaration must
+fail at definition time, not mid-sweep.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.xpr.grid import (
+    EXPERIMENTS,
+    ExperimentGrid,
+    TrialSpec,
+    content_id,
+    define_experiment,
+    expand_experiment,
+    experiment_names,
+)
+
+
+@pytest.fixture
+def scratch_experiment():
+    """Register-and-cleanup helper so tests never leak registrations."""
+    registered = []
+
+    def register(name, *grids):
+        define_experiment(name, *grids)
+        registered.append(name)
+
+    yield register
+    for name in registered:
+        EXPERIMENTS.pop(name, None)
+
+
+class TestContentId:
+    def test_independent_of_key_order(self):
+        assert content_id({"a": 1, "b": 2}) == content_id({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert content_id({"a": 1}) != content_id({"a": 2})
+
+    def test_twelve_hex_chars(self):
+        cid = content_id({"mode": "serial", "n": 32})
+        assert len(cid) == 12
+        int(cid, 16)  # parses as hex
+
+
+class TestTrialSpec:
+    def test_id_excludes_experiment_name(self):
+        a = TrialSpec(experiment="alpha", mode="serial", n=32, k=8)
+        b = TrialSpec(experiment="beta", mode="serial", n=32, k=8)
+        assert a.trial_id == b.trial_id
+
+    def test_id_stable_across_constructions(self):
+        kwargs = dict(mode="dist", n=32, k=8, transport="local", ranks=2)
+        assert (
+            TrialSpec(experiment="e", **kwargs).trial_id
+            == TrialSpec(experiment="e", **kwargs).trial_id
+        )
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            TrialSpec(experiment="e", mode="warp")
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            TrialSpec(experiment="e", transport="carrier-pigeon")
+
+    def test_rejects_nonpositive_ints(self):
+        with pytest.raises(ConfigurationError, match="ranks"):
+            TrialSpec(experiment="e", ranks=0)
+
+    def test_rejects_k_not_dividing_n(self):
+        with pytest.raises(ConfigurationError, match="divide"):
+            TrialSpec(experiment="e", n=30, k=8)
+
+    def test_label_mentions_dist_topology(self):
+        spec = TrialSpec(
+            experiment="e", mode="dist", transport="tcp", ranks=4,
+            overlap=True,
+        )
+        assert "tcp/p4" in spec.label()
+        assert "overlap" in spec.label()
+
+
+class TestExperimentGrid:
+    def test_expansion_is_deterministic(self):
+        grid = ExperimentGrid(
+            "det",
+            matrix={"mode": ["serial", "parallel"], "seed": [0, 1, 2]},
+            fixed={"n": 32, "k": 8},
+        )
+        first = [t.trial_id for t in grid.expand()]
+        second = [t.trial_id for t in grid.expand()]
+        assert first == second
+        assert len(first) == 6
+        assert len(set(first)) == 6
+
+    def test_axes_sweep_in_sorted_name_order(self):
+        # 'mode' sorts before 'seed', so mode is the outer loop.
+        grid = ExperimentGrid(
+            "order", matrix={"seed": [0, 1], "mode": ["serial", "parallel"]}
+        )
+        modes = [t.mode for t in grid.expand()]
+        assert modes == ["serial", "serial", "parallel", "parallel"]
+
+    def test_rejects_unknown_parameter(self):
+        with pytest.raises(ConfigurationError, match="unknown grid parameter"):
+            ExperimentGrid("bad", matrix={"wat": [1]})
+
+    def test_rejects_matrix_fixed_overlap(self):
+        with pytest.raises(ConfigurationError, match="both"):
+            ExperimentGrid(
+                "bad", matrix={"n": [32]}, fixed={"n": 32}
+            )
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            ExperimentGrid("bad", matrix={"seed": []})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            ExperimentGrid("")
+
+
+class TestExperimentRegistry:
+    def test_expand_unknown_experiment_fails_loudly(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            expand_experiment("definitely-not-registered")
+
+    def test_overlapping_grids_deduplicate(self, scratch_experiment):
+        grid = ExperimentGrid(
+            "dup", matrix={"seed": [0, 1]}, fixed={"n": 32, "k": 8}
+        )
+        scratch_experiment("dup", grid, grid)  # same grid twice
+        trials = expand_experiment("dup")
+        assert len(trials) == 2  # not 4: ids collapse duplicates
+
+    def test_builtin_reference_experiments(self):
+        names = experiment_names()
+        assert "ref-quick" in names and "ref-full" in names
+        quick = expand_experiment("ref-quick")
+        assert len(quick) == 5
+        assert {t.mode for t in quick} == {
+            "serial", "parallel", "serve", "dist",
+        }
+        assert len(expand_experiment("ref-full")) == 15
+
+    def test_ref_quick_ids_are_stable(self):
+        # Pinned: these ids key the committed TRAJECTORY.jsonl baseline.
+        ids = [t.trial_id for t in expand_experiment("ref-quick")]
+        assert ids == [
+            "7f86aeae4624",
+            "782e83959f4e",
+            "4f60d596ac2d",
+            "8500ad0e6704",
+            "3c0e414592a2",
+        ]

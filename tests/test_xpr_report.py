@@ -1,0 +1,122 @@
+"""Report rendering: byte-identical output, trend math, lazy store reads."""
+
+from repro.xpr.report import TrajectoryReport
+from repro.xpr.store import TrajectoryStore, TrialRecord
+
+
+def record(metrics, *, trial_id="abc123def456", status="ok", error=None,
+           experiment="exp"):
+    return TrialRecord(
+        experiment=experiment,
+        trial_id=trial_id,
+        git_rev="abc123",
+        ts="2026-01-01T00:00:00+00:00",
+        status=status,
+        params={"bench": "demo", "config": "cfg", "n": 32, "k": 8},
+        metrics=metrics,
+        error=error,
+    )
+
+
+def make_store(tmp_path):
+    store = TrajectoryStore(tmp_path / "T.jsonl")
+    store.extend([record({"m_s": 1.5}), record({"m_s": 3.0})])
+    return store
+
+
+class TestByteIdentical:
+    EXPECTED_MD = (
+        "# xpr trajectory report\n"
+        "\n"
+        "2 record(s) across 1 experiment(s) in `T.jsonl`.\n"
+        "\n"
+        "## exp\n"
+        "\n"
+        "| trial | config | metric | runs | first | median | latest "
+        "| delta |\n"
+        "|---|---|---|---|---|---|---|---|\n"
+        "| abc123def456 | bench=demo config=cfg | m_s | 2 | 1.5 | 2.25 "
+        "| 3 | +100.0% |\n"
+    )
+
+    def test_markdown_bytes_are_pinned(self, tmp_path):
+        # The exact bytes, not just the shape: CI diffs uploaded reports
+        # line by line, so rendering must never drift.
+        assert (
+            TrajectoryReport(make_store(tmp_path)).to_markdown()
+            == self.EXPECTED_MD
+        )
+
+    def test_identical_stores_render_identical_bytes(self, tmp_path):
+        a = make_store(tmp_path / "a")
+        b = make_store(tmp_path / "b")
+        assert (
+            TrajectoryReport(a).to_markdown()
+            == TrajectoryReport(b).to_markdown()
+        )
+        assert TrajectoryReport(a).to_html() == TrajectoryReport(b).to_html()
+
+
+class TestTrendRows:
+    def test_delta_is_latest_vs_median_of_previous(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "T.jsonl")
+        store.extend(
+            [record({"m_s": v}) for v in (1.0, 2.0, 3.0)]
+        )
+        (row,) = TrajectoryReport(store).trend_rows("exp")
+        # runs=3, first=1, median=2, latest=3, delta vs median([1,2])=1.5
+        assert row[3:] == ["3", "1", "2", "3", "+100.0%"]
+
+    def test_single_run_is_marked_new(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "T.jsonl")
+        store.append(record({"m_s": 1.0}))
+        (row,) = TrajectoryReport(store).trend_rows("exp")
+        assert row[-1] == "new"
+
+    def test_failed_runs_render_in_their_own_section(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "T.jsonl")
+        store.extend(
+            [
+                record({"m_s": 1.0}),
+                record({}, status="error", error="ValueError: boom"),
+            ]
+        )
+        md = TrajectoryReport(store).to_markdown()
+        assert "## failed runs" in md
+        assert "ValueError: boom" in md
+
+    def test_experiment_filter(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "T.jsonl")
+        store.extend(
+            [record({"m_s": 1.0}), record({"m_s": 1.0}, experiment="other")]
+        )
+        report = TrajectoryReport(store, experiment="other")
+        assert report.experiments == ["other"]
+        assert len(report.records) == 1
+
+
+class TestLazyView:
+    def test_store_is_read_exactly_once(self, tmp_path):
+        store = make_store(tmp_path)
+        report = TrajectoryReport(store)
+        first = report.to_markdown()
+        store.append(record({"m_s": 99.0}))  # mutates the file, not the view
+        assert report.to_markdown() == first
+        assert len(TrajectoryReport(store).records) == 3  # fresh view sees it
+
+
+class TestHtml:
+    def test_html_escapes_error_text(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "T.jsonl")
+        store.append(
+            record({}, status="error", error="bad <tag> & ampersand")
+        )
+        html_out = TrajectoryReport(store).to_html()
+        assert "bad &lt;tag&gt; &amp; ampersand" in html_out
+        assert "<tag>" not in html_out
+
+    def test_html_has_the_same_cells_as_markdown(self, tmp_path):
+        store = make_store(tmp_path)
+        html_out = TrajectoryReport(store).to_html()
+        for cell in ("abc123def456", "m_s", "2.25", "+100.0%"):
+            assert f"<td>{cell}</td>" in html_out

@@ -1,0 +1,182 @@
+"""Trajectory store: round-trips, append-only-ness, the shared bench schema.
+
+Also covers seeding from the committed BENCH_*.json reports — the path
+that gave the repository's trajectory its day-one baseline.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.xpr.store import (
+    BENCH_ENVELOPE_KEYS,
+    TrajectoryStore,
+    TrialRecord,
+    bench_envelope,
+    seed_from_bench_files,
+    write_bench,
+)
+
+REPO = Path(__file__).parent.parent
+
+
+def record(trial_id="aaa111bbb222", **kwargs):
+    defaults = dict(
+        experiment="exp",
+        trial_id=trial_id,
+        git_rev="abc123",
+        ts="2026-01-01T00:00:00+00:00",
+        status="ok",
+        params={"mode": "serial", "n": 32, "k": 8},
+        metrics={"value": 1.5},
+    )
+    defaults.update(kwargs)
+    return TrialRecord(**defaults)
+
+
+class TestRoundTrip:
+    def test_append_then_read_back(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "t.jsonl")
+        original = record(error="why not")
+        store.append(original)
+        (loaded,) = store.records()
+        assert loaded == original
+
+    def test_missing_file_is_an_empty_trajectory(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "absent.jsonl")
+        assert store.records() == []
+        assert store.experiments() == []
+
+    def test_extend_preserves_append_order(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "t.jsonl")
+        store.extend([record(trial_id=f"id{i:010d}") for i in range(3)])
+        store.append(record(trial_id="id0000000003"))
+        ids = [r.trial_id for r in store.records()]
+        assert ids == [f"id{i:010d}" for i in range(4)]
+
+    def test_lines_are_one_compact_json_object_each(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "t.jsonl")
+        store.extend([record(), record(trial_id="ccc333ddd444")])
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert ": " not in line  # compact separators
+            assert json.loads(line)["schema"] == 1
+
+    def test_malformed_line_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        store = TrajectoryStore(path)
+        store.append(record())
+        with path.open("a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ConfigurationError, match=r"t\.jsonl:2"):
+            store.records()
+
+    def test_missing_required_key_fails_loudly(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"experiment": "exp"}\n')
+        with pytest.raises(ConfigurationError, match="trial_id"):
+            TrajectoryStore(path).records()
+
+    def test_history_filters_by_experiment_and_trial(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "t.jsonl")
+        store.extend(
+            [
+                record(trial_id="one111111111"),
+                record(trial_id="two222222222"),
+                record(trial_id="one111111111", experiment="other"),
+                record(trial_id="one111111111", metrics={"value": 2.0}),
+            ]
+        )
+        history = store.history("exp", "one111111111")
+        assert [r.metrics["value"] for r in history] == [1.5, 2.0]
+        assert store.experiments() == ["exp", "other"]
+
+
+class TestBenchSchema:
+    def test_envelope_fills_environment_fields(self):
+        doc = bench_envelope(
+            "demo", n=32, k=8, repeats=3, results={"a": {}}, sigma=2.0
+        )
+        assert BENCH_ENVELOPE_KEYS <= set(doc)
+        assert doc["cpu_count"] >= 1
+        assert doc["python"].count(".") == 2
+        assert doc["sigma"] == 2.0  # extras ride along
+
+    def test_write_bench_rejects_partial_envelopes(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cpu_count"):
+            write_bench({"bench": "demo"}, tmp_path / "out.json")
+
+    def test_write_bench_round_trips(self, tmp_path):
+        doc = bench_envelope("demo", n=32, k=8, repeats=1, results={})
+        out = write_bench(doc, tmp_path / "out.json")
+        assert json.loads(out.read_text()) == doc
+
+
+class TestSeeding:
+    def test_seed_flattens_nested_numeric_leaves(self, tmp_path):
+        bench = tmp_path / "BENCH_demo.json"
+        bench.write_text(
+            json.dumps(
+                {
+                    "bench": "demo",
+                    "n": 32,
+                    "k": 8,
+                    "results": {
+                        "cfg": {
+                            "median_s": 0.5,
+                            "bitwise": True,
+                            "times_s": [0.4, 0.5],  # lists are skipped
+                            "copies": {"total_bytes": 0},
+                        }
+                    },
+                }
+            )
+        )
+        store = TrajectoryStore(tmp_path / "t.jsonl")
+        (seeded,) = seed_from_bench_files(
+            store, [bench], git_rev="abc", ts="2026-01-01T00:00:00+00:00"
+        )
+        assert seeded.experiment == "bench-demo"
+        assert seeded.params == {
+            "bench": "demo", "config": "cfg", "n": 32, "k": 8,
+        }
+        assert seeded.metrics == {
+            "median_s": 0.5, "bitwise": 1.0, "copies.total_bytes": 0.0,
+        }
+
+    def test_reseeding_lands_on_the_same_trial_ids(self, tmp_path):
+        bench = tmp_path / "BENCH_demo.json"
+        bench.write_text(
+            json.dumps(
+                {"bench": "demo", "n": 32, "k": 8,
+                 "results": {"cfg": {"median_s": 0.5}}}
+            )
+        )
+        store = TrajectoryStore(tmp_path / "t.jsonl")
+        first = seed_from_bench_files(store, [bench])
+        second = seed_from_bench_files(store, [bench])
+        assert [r.trial_id for r in first] == [r.trial_id for r in second]
+        assert len(store.history("bench-demo", first[0].trial_id)) == 2
+
+    def test_seed_rejects_reports_without_results(self, tmp_path):
+        bench = tmp_path / "BENCH_bad.json"
+        bench.write_text('{"bench": "bad"}')
+        with pytest.raises(ConfigurationError, match="results"):
+            seed_from_bench_files(
+                TrajectoryStore(tmp_path / "t.jsonl"), [bench]
+            )
+
+    def test_committed_bench_reports_seed_cleanly(self, tmp_path):
+        # The four committed BENCH_*.json files must stay seedable: they
+        # are the provenance of the committed TRAJECTORY.jsonl baseline.
+        paths = sorted(REPO.glob("BENCH_*.json"))
+        assert len(paths) == 4
+        store = TrajectoryStore(tmp_path / "t.jsonl")
+        records = seed_from_bench_files(store, paths)
+        assert len(records) == 17
+        assert {r.experiment for r in records} == {
+            "bench-dist", "bench-pipeline", "bench-serialize", "bench-serve",
+        }
