@@ -1,0 +1,183 @@
+"""Standing-pool dispatch benchmark: warm vs cold job latency.
+
+Measures what the pool buys over spawn-per-job at the reference shape
+(n=32, k=8, flat:2, P TCP ranks):
+
+- ``cold_dist_run``    — the launcher path: every run pays process
+  spawn, mesh formation, and FFT plan construction;
+- ``pool_first_submit`` — the pool's first job: mesh already formed by
+  ``connect()``, but plans are still cold (``plan_misses > 0``);
+- ``pool_warm_submit`` — resubmissions on the warm mesh: processes,
+  transports, and plans all reused (the bar: ``plan_misses == 0`` and a
+  median below both colder paths).
+
+Every run is verified bitwise against ``run_serial`` and wire-audited
+against Eq 6.  Writes ``BENCH_pool.json`` at the repository root via the
+shared :func:`~repro.xpr.store.bench_envelope`, then seeds the
+measurements into ``TRAJECTORY.jsonl`` (experiment ``bench-pool``) so
+the trajectory store carries the warm-dispatch history; pass
+``--no-trajectory`` to skip the seeding (CI artifact-only runs).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pool.py \
+        [--repeats N] [--output PATH] [--quick] [--no-trajectory]
+
+``--quick`` shrinks to 2 ranks and 2 repeats (same schema).
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dist.launcher import default_spectrum, dist_run
+from repro.dist.worker import DistConfig, build_pipeline, composite_field
+from repro.pool.pool import RankPool
+from repro.xpr.registry import bench_argument_parser
+from repro.xpr.store import (
+    TrajectoryStore,
+    bench_envelope,
+    seed_from_bench_files,
+    write_bench,
+)
+
+N, K, SIGMA, POLICY, REPEATS, SEED = 32, 8, 2.0, "flat:2", 3, 0
+RANKS = 4
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = ROOT / "BENCH_pool.json"
+TRAJECTORY = ROOT / "TRAJECTORY.jsonl"
+
+
+def _check(approx, serial, label):
+    if not np.array_equal(approx, serial.approx):
+        raise AssertionError(f"{label}: not bitwise identical to run_serial")
+
+
+def main(
+    repeats: int = REPEATS,
+    output: Path | str = DEFAULT_OUTPUT,
+    quick: bool = False,
+    trajectory: Path | str | None = TRAJECTORY,
+) -> dict:
+    ranks = 2 if quick else RANKS
+    repeats = min(repeats, 2) if quick else repeats
+    config = DistConfig(
+        n=N, k=K, sigma=SIGMA, policy=POLICY, seed=SEED,
+        num_ranks=ranks, transport="tcp",
+    )
+    field = composite_field(N, SEED)
+    spectrum = default_spectrum(config)
+    serial = build_pipeline(config, spectrum).run_serial(field)
+
+    # -- cold baseline: the spawn-per-job launcher path -------------------
+    cold_times = []
+    cold_report = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        cold_report = dist_run(config, field=field, spectrum=spectrum)
+        cold_times.append(time.perf_counter() - t0)
+        _check(cold_report.approx, serial, "cold dist_run")
+
+    # -- the standing pool ------------------------------------------------
+    pool = RankPool(f"file://{tempfile.mkdtemp(prefix='bench-pool-')}")
+    try:
+        t0 = time.perf_counter()
+        pool.spawn(ranks)
+        pool.connect(ranks, timeout_s=30.0)
+        bootstrap_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        first = pool.submit(config, field=field, spectrum=spectrum)
+        first_s = time.perf_counter() - t0
+        _check(first.approx, serial, "pool first submit")
+
+        warm_times = []
+        warm = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            warm = pool.submit(config, field=field, spectrum=spectrum)
+            warm_times.append(time.perf_counter() - t0)
+            _check(warm.approx, serial, "pool warm submit")
+            if not warm.warm or warm.plan_misses:
+                raise AssertionError(
+                    f"resubmission was not warm: warm={warm.warm} "
+                    f"plan_misses={warm.plan_misses}"
+                )
+    finally:
+        pool.down()
+
+    cold_median = statistics.median(cold_times)
+    warm_median = statistics.median(warm_times)
+    results = {
+        "cold_dist_run": {
+            "median_s": cold_median,
+            "times_s": cold_times,
+            "wire_over_model": cold_report.wire_over_model,
+            "bitwise_vs_serial": True,
+        },
+        "pool_first_submit": {
+            "median_s": first_s,
+            "plan_misses": first.plan_misses,
+            "plan_hits": first.plan_hits,
+            "wire_over_model": first.wire_over_model,
+            "bitwise_vs_serial": True,
+        },
+        "pool_warm_submit": {
+            "median_s": warm_median,
+            "times_s": warm_times,
+            "plan_misses": warm.plan_misses,
+            "plan_hits": warm.plan_hits,
+            "wire_over_model": warm.wire_over_model,
+            "bitwise_vs_serial": True,
+        },
+    }
+    report = bench_envelope(
+        "pool",
+        n=N,
+        k=K,
+        repeats=repeats,
+        results=results,
+        workers_used=ranks,
+        sigma=SIGMA,
+        policy=POLICY,
+        dispatch={
+            "bootstrap_s": bootstrap_s,
+            "warm_speedup_vs_cold_dist": cold_median / warm_median,
+            "warm_speedup_vs_first_submit": first_s / warm_median,
+        },
+    )
+    out = write_bench(report, output)
+    for name in results:
+        print(f"{name:18s} median {results[name]['median_s']:6.3f} s")
+    print(
+        f"\nwarm dispatch {cold_median / warm_median:.2f}x faster than "
+        f"cold dist_run ({first_s / warm_median:.2f}x vs first submit), "
+        f"warm plan_misses {warm.plan_misses} -> {out.name}"
+    )
+    if trajectory is not None:
+        records = seed_from_bench_files(TrajectoryStore(trajectory), [out])
+        print(f"seeded {len(records)} records into {trajectory}")
+    return report
+
+
+if __name__ == "__main__":
+    parser = bench_argument_parser(
+        __doc__, default_output=str(DEFAULT_OUTPUT), default_repeats=REPEATS
+    )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="write BENCH_pool.json only; skip the TRAJECTORY.jsonl seed",
+    )
+    args = parser.parse_args()
+    main(
+        repeats=args.repeats,
+        output=args.output,
+        quick=args.quick,
+        trajectory=None if args.no_trajectory else TRAJECTORY,
+    )

@@ -32,8 +32,10 @@ from repro.errors import (
     ConvergenceError,
     DeviceMemoryError,
     PlanError,
+    PoolError,
     RankFailure,
     ReproError,
+    StaleGenerationError,
     RequestTimeoutError,
     ServiceError,
     ShapeError,
@@ -50,6 +52,8 @@ __all__ = [
     "CommunicationError",
     "RankFailure",
     "TransportError",
+    "PoolError",
+    "StaleGenerationError",
     "ConvergenceError",
     "ServiceError",
     "AdmissionError",

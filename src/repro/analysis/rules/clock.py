@@ -1,18 +1,19 @@
 """CLK001: direct wall-clock reads inside clock-injected layers.
 
-Everything in :mod:`repro.serve` and :mod:`repro.xpr` is specified to
-read time through the injectable :class:`repro.serve.clock.Clock` so
-scheduler flushes, deadlines, trial timings, and gate evaluation are
-testable with a :class:`~repro.serve.clock.ManualClock` and zero real
-sleeps.  One stray ``time.monotonic()`` re-introduces wall-clock
-nondeterminism into a path the tests believe is virtual — the kind of
-drift that only shows up as a flaky deadline test months later.
+Everything in :mod:`repro.serve`, :mod:`repro.xpr`, and
+:mod:`repro.pool` is specified to read time through the injectable
+:class:`repro.serve.clock.Clock` so scheduler flushes, deadlines, trial
+timings, rendezvous waits, and gate evaluation are testable with a
+:class:`~repro.serve.clock.ManualClock` and zero real sleeps.  One
+stray ``time.monotonic()`` re-introduces wall-clock nondeterminism into
+a path the tests believe is virtual — the kind of drift that only shows
+up as a flaky deadline test months later.
 
 This rule flags every call to ``time.time`` / ``time.monotonic`` /
 ``time.sleep`` / ``time.perf_counter`` (module-qualified or imported
-bare) in any file under a ``serve/`` or ``xpr/`` directory, except
-``serve/clock.py`` itself — the one sanctioned adapter between the
-:class:`Clock` interface and the real clock.
+bare) in any file under a ``serve/``, ``xpr/``, or ``pool/`` directory,
+except ``serve/clock.py`` itself — the one sanctioned adapter between
+the :class:`Clock` interface and the real clock.
 """
 
 from __future__ import annotations
@@ -27,18 +28,19 @@ from repro.analysis.rules.base import Rule
 _CLOCK_FUNCS = frozenset({"time", "monotonic", "sleep", "perf_counter"})
 
 #: Directory names whose Python files are held to the injectable-Clock
-#: contract (the serving layer and the experiment orchestrator).
-_CLOCKED_TREES = frozenset({"serve", "xpr"})
+#: contract (the serving layer, the experiment orchestrator, and the
+#: standing rank pool).
+_CLOCKED_TREES = frozenset({"serve", "xpr", "pool"})
 
 
 class InjectableClockRule(Rule):
-    """CLK001: serve/ and xpr/ code must use the injectable Clock, not ``time.*``."""
+    """CLK001: clock-injected trees must use the Clock, not ``time.*``."""
 
     rule_id = "CLK001"
-    description = "serve/ and xpr/ read time only through serve.clock"
+    description = "serve/, xpr/, and pool/ read time only through serve.clock"
 
     def check_file(self, ctx: FileContext) -> List[Finding]:
-        """Flag direct wall-clock calls in serve/ and xpr/ modules."""
+        """Flag direct wall-clock calls in serve/, xpr/, and pool/ modules."""
         if not _CLOCKED_TREES & set(ctx.parts) or (
             "serve" in ctx.parts and ctx.parts[-1] == "clock.py"
         ):

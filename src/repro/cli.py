@@ -23,6 +23,8 @@ Usage::
     python -m repro xpr run --experiment ref-quick
                                     # drain an experiment grid
     python -m repro xpr gate        # fail on perf regression vs history
+    python -m repro pool up --rendezvous file:///tmp/rdv --ranks 4
+                                    # standing rank pool (see pool --help)
 
 Exit codes: 0 on success, 1 when ``lint`` reports findings, 2 on bad
 arguments or configuration errors (argparse errors also exit 2), with a
@@ -326,6 +328,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.xpr.cli import xpr_main
 
         return xpr_main(argv[1:])
+    if argv[:1] == ["pool"]:
+        # Same pattern for the standing rank pool (up/status/submit/down/
+        # agent/coordinator).
+        from repro.pool.cli import pool_main
+
+        return pool_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate experiments from the low-communication "
@@ -334,13 +342,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(COMMANDS)
-        + ["all", "pipeline", "serve-bench", "dist-run", "lint", "xpr"],
+        + ["all", "pipeline", "serve-bench", "dist-run", "lint", "xpr", "pool"],
         help="which experiment to run ('pipeline' runs the end-to-end "
         "convolution itself; 'serve-bench' benchmarks the batching "
         "service; 'dist-run' executes the pipeline as a real multi-process "
         "SPMD job; 'lint' runs the project-specific static analysis; "
         "'xpr' orchestrates experiment grids and regression gates — "
-        "see 'repro xpr --help'; see the flag groups below)",
+        "see 'repro xpr --help'; 'pool' operates the standing rank pool — "
+        "see 'repro pool --help'; see the flag groups below)",
     )
     parser.add_argument(
         "paths",

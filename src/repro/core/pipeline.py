@@ -34,6 +34,7 @@ from repro.cluster.memory import MemoryTracker
 from repro.core.accumulate import Accumulator, accumulate_global
 from repro.core.decomposition import DomainDecomposition, SubDomain
 from repro.core.local_conv import KernelSpectrum, LocalConvolution
+from repro.fft.pruned_plan import PlanCache
 from repro.core.parallel import convolve_subdomains_parallel
 from repro.core.policy import SamplingPolicy
 from repro.errors import ShapeError
@@ -89,6 +90,12 @@ class LowCommConvolution3D:
         Hermitian fast-path control, forwarded to
         :class:`~repro.core.local_conv.LocalConvolution` (``None`` =
         auto-detect for dense spectra).
+    plans:
+        Optional shared :class:`~repro.fft.pruned_plan.PlanCache`.  A
+        long-lived caller (the standing rank pool) passes its
+        process-wide cache so FFT plans survive across pipelines; by
+        default each pipeline keeps its own cache (thread-safe for the
+        in-process rank threads, which each build their own pipeline).
     """
 
     def __init__(
@@ -102,6 +109,7 @@ class LowCommConvolution3D:
         interpolation: str = "linear",
         memory: Optional[MemoryTracker] = None,
         real_kernel: Optional[bool] = None,
+        plans: Optional[PlanCache] = None,
     ):
         self.decomposition = DomainDecomposition(n=n, k=k)
         self.policy = policy or SamplingPolicy()
@@ -117,6 +125,7 @@ class LowCommConvolution3D:
             batch=batch,
             memory=memory,
             real_kernel=real_kernel,
+            plans=plans,
         )
         self._pattern_cache: Dict[Tuple[int, int, int], object] = {}
 

@@ -38,10 +38,17 @@ thing end to end.
 """
 
 from repro.dist.collectives import Communicator, StreamedAllgather
-from repro.dist.launcher import DistRunReport, dist_run, simulated_crosscheck
+from repro.dist.launcher import (
+    DistRunReport,
+    assemble_blocks,
+    dist_run,
+    expected_exchange_value_bytes,
+    recover_from_checkpoints,
+    simulated_crosscheck,
+)
 from repro.dist.ledger import WireLedger, merge_wire_snapshots
 from repro.dist.transport import LocalFabric, LocalTransport, SendWindow, Transport
-from repro.dist.tcp import TcpTransport
+from repro.dist.tcp import TcpTransport, normalize_endpoints
 from repro.dist.wire import Frame, FrameKind
 from repro.dist.worker import DistConfig, RankResult, composite_field
 
@@ -59,8 +66,12 @@ __all__ = [
     "TcpTransport",
     "Transport",
     "WireLedger",
+    "assemble_blocks",
     "composite_field",
     "dist_run",
+    "expected_exchange_value_bytes",
     "merge_wire_snapshots",
+    "normalize_endpoints",
+    "recover_from_checkpoints",
     "simulated_crosscheck",
 ]

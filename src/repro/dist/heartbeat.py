@@ -56,6 +56,32 @@ class HeartbeatMonitor:
             if src in self._last_seen:
                 self._last_seen[src] = self.clock()
 
+    def watch(self, peer: int) -> None:
+        """Start (or restart) watching ``peer``, counting it fresh now.
+
+        Elastic membership hook: a late-joining or replacement rank
+        enters liveness tracking the moment it is admitted, with its
+        silence measured from admission — not from monitor construction.
+        Re-watching an existing peer resets its clock, which is exactly
+        right for a rank re-admitted under a new roster generation.
+        """
+        with self._lock:
+            self._last_seen[peer] = self.clock()
+
+    def unwatch(self, peer: int) -> None:
+        """Stop watching ``peer`` (evicted/replaced); unknown peers ok.
+
+        An evicted rank must not keep tripping :meth:`check` after the
+        roster has moved on — its silence is expected, not a failure.
+        """
+        with self._lock:
+            self._last_seen.pop(peer, None)
+
+    def watched(self) -> List[int]:
+        """Currently watched peers, sorted."""
+        with self._lock:
+            return sorted(self._last_seen)
+
     def overdue(self) -> List[int]:
         """Ranks silent for longer than the timeout, sorted."""
         now = self.clock()

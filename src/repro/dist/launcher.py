@@ -86,7 +86,23 @@ class DistRunReport:
         return self.exchange_wire_bytes / self.predicted_value_bytes
 
 
-def expected_exchange_value_bytes(config: DistConfig, field: np.ndarray) -> int:
+def active_subdomain_indices(config: DistConfig, field: np.ndarray) -> List[int]:
+    """Indices of sub-domains with any non-zero sample in ``field``.
+
+    These are the sub-domains that compute, checkpoint, and exchange;
+    all-zero boxes are skipped everywhere (worker, recovery, and the Eq 6
+    accounting all agree on this set).
+    """
+    decomp = DomainDecomposition(n=config.n, k=config.k)
+    field = np.asarray(field)
+    return [sub.index for sub in decomp if np.any(field[sub.slices()])]
+
+
+def expected_exchange_value_bytes(
+    config: DistConfig,
+    field: np.ndarray,
+    exclude_indices: Optional[frozenset] = None,
+) -> int:
     """Exact Eq 6 accounting for the sparse exchange's *value* payload.
 
     Every active (non-zero) sub-domain contributes its sampling pattern's
@@ -94,6 +110,10 @@ def expected_exchange_value_bytes(config: DistConfig, field: np.ndarray) -> int:
     This is exact: the SimulatedComm allgather ledger reports precisely
     this number, and the real transports move it plus small bounded
     framing/metadata overhead.
+
+    ``exclude_indices`` drops sub-domains from the accounting — a pool
+    recovery job re-exchanges only the entries absent from the merged
+    checkpoint, so its prediction excludes everything already restored.
     """
     itemsize = _PRECISION_BYTES.get(config.precision)
     if itemsize is None:
@@ -104,8 +124,11 @@ def expected_exchange_value_bytes(config: DistConfig, field: np.ndarray) -> int:
     policy = parse_policy(config.policy)
     decomp = DomainDecomposition(n=config.n, k=config.k)
     field = np.asarray(field)
+    skip = exclude_indices or frozenset()
     samples = 0
     for sub in decomp:
+        if sub.index in skip:
+            continue
         if np.any(field[sub.slices()]):
             samples += policy.pattern_for(config.n, config.k, sub.corner).sample_count
     return (config.num_ranks - 1) * itemsize * samples
@@ -130,6 +153,41 @@ def naive_eq6_bytes(config: DistConfig) -> int:
 def default_spectrum(config: DistConfig) -> np.ndarray:
     """The job's default kernel spectrum (Gaussian of ``config.sigma``)."""
     return GaussianKernel(n=config.n, sigma=config.sigma).spectrum()
+
+
+def assemble_blocks(
+    config: DistConfig, results: Dict[int, RankResult]
+) -> np.ndarray:
+    """Place every rank's accumulated blocks into the global grid.
+
+    The reassembly step shared by the cold driver (:func:`dist_run`) and
+    the standing pool (:meth:`repro.pool.RankPool.submit`): blocks are
+    disjoint by construction (each sub-domain belongs to exactly one
+    rank), so placement order cannot matter — the result is bitwise
+    whatever order the rank reports arrived in.
+    """
+    decomp = DomainDecomposition(n=config.n, k=config.k)
+    approx = np.zeros((config.n,) * 3, dtype=np.float64)
+    for result in results.values():
+        for index, block in result.blocks.items():
+            approx[decomp.subdomain(index).slices()] = block
+    return approx
+
+
+def recover_from_checkpoints(
+    config: DistConfig,
+    field: np.ndarray,
+    spectrum: np.ndarray,
+    checkpoint_blobs: List[bytes],
+) -> np.ndarray:
+    """Public alias of the driver-side recovery path (see :func:`_recover`).
+
+    The pool controller falls back to this when a job loses so many
+    ranks that in-mesh handoff is impossible (e.g. the roster cannot be
+    refilled); it produces the same bitwise-identical result from
+    whatever checkpoints were posted.
+    """
+    return _recover(config, field, spectrum, checkpoint_blobs)
 
 
 def _recover(
@@ -180,11 +238,7 @@ def dist_run(
     outcome = run_spmd(config, field, spectrum)
 
     if outcome.clean:
-        decomp = DomainDecomposition(n=config.n, k=config.k)
-        approx = np.zeros((config.n,) * 3, dtype=np.float64)
-        for result in outcome.results.values():
-            for index, block in result.blocks.items():
-                approx[decomp.subdomain(index).slices()] = block
+        approx = assemble_blocks(config, outcome.results)
         recovered = False
     else:
         approx = _recover(

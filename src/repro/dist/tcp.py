@@ -1,11 +1,21 @@
-"""Full-mesh TCP transport over localhost sockets.
+"""Full-mesh TCP transport over host/port endpoints.
 
 Mesh construction: every rank owns a listening socket (bound by the
-launcher's bootstrap, port chosen by the OS); rank ``r`` *connects* to
-every rank below it and *accepts* from every rank above it, identifying
-inbound connections by their first ``HELLO`` frame.  After bootstrap each
-pair of ranks shares exactly one TCP connection carrying length-prefixed
-:mod:`repro.dist.wire` frames in both directions.
+launcher's or pool agent's bootstrap, port chosen by the OS); rank ``r``
+*connects* to every rank below it and *accepts* from every rank above
+it, identifying inbound connections by their first ``HELLO`` frame.
+After bootstrap each pair of ranks shares exactly one TCP connection
+carrying length-prefixed :mod:`repro.dist.wire` frames in both
+directions.  Endpoints are ``(host, port)`` pairs — bare ports (the
+localhost launcher's historical form) still work and mean
+``127.0.0.1`` — so the same bootstrap forms meshes across hosts.
+
+Dialing tolerates staggered joins: a peer's listener may not exist yet
+when this rank dials (multi-host rendezvous, slow CI hosts), so
+:meth:`TcpTransport._dial` retries with capped exponential backoff plus
+deterministic jitter until the mesh deadline.  All dial-side waiting
+goes through an injected :class:`~repro.serve.clock.Clock`, so the
+retry schedule is unit-testable without wall-clock sleeps.
 
 Concurrency: frames may be written by the application thread and the
 heartbeat thread simultaneously, so each peer socket has a write lock and
@@ -29,11 +39,12 @@ Failure mapping: receive deadline exceeded →
 
 from __future__ import annotations
 
+import random
 import selectors
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.dist.ledger import CATEGORY_CONTROL, CATEGORY_DATA, WireLedger
 from repro.dist.transport import RecvArena, Transport
@@ -43,7 +54,8 @@ from repro.dist.wire import (
     FrameKind,
     decode_header,
 )
-from repro.errors import CommunicationError, RankFailure, TransportError
+from repro.errors import CommunicationError, ConfigurationError, RankFailure, TransportError
+from repro.serve.clock import Clock, MonotonicClock
 
 #: Default wall-clock budget for building the full mesh.
 CONNECT_TIMEOUT_S = 20.0
@@ -51,6 +63,101 @@ CONNECT_TIMEOUT_S = 20.0
 #: Cap on buffers per ``sendmsg`` call (POSIX IOV_MAX is >= 1024 on the
 #: platforms we run; exceeding it raises EMSGSIZE).
 _IOV_CAP = 1024
+
+#: A mesh endpoint: ``(host, port)``; a bare ``int`` port means localhost.
+Endpoint = Tuple[str, int]
+
+#: First dial retry delay; doubles per attempt up to :data:`DIAL_CAP_S`.
+DIAL_BASE_S = 0.02
+
+#: Ceiling on a single dial backoff delay.
+DIAL_CAP_S = 1.0
+
+#: Jitter fraction: each delay is scaled into ``[1 - jitter, 1]``.
+DIAL_JITTER = 0.5
+
+
+def normalize_endpoints(
+    endpoints: Sequence[Union[int, Endpoint]],
+) -> List[Endpoint]:
+    """Canonicalize a bootstrap endpoint list to ``(host, port)`` pairs.
+
+    Bare ``int`` ports keep the historical localhost-launcher meaning of
+    ``("127.0.0.1", port)``; anything else must already be a
+    ``(host, port)`` pair.  Mixed lists are fine — the localhost driver
+    and a multi-host rendezvous produce the same canonical form.
+    """
+    out: List[Endpoint] = []
+    for ep in endpoints:
+        if isinstance(ep, int):
+            out.append(("127.0.0.1", ep))
+            continue
+        try:
+            host, port = ep
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"endpoint {ep!r} is neither a port nor a (host, port) pair"
+            ) from None
+        out.append((str(host), int(port)))
+    return out
+
+
+def dial_backoff_s(
+    attempt: int,
+    rng: random.Random,
+    base: float = DIAL_BASE_S,
+    cap: float = DIAL_CAP_S,
+    jitter: float = DIAL_JITTER,
+) -> float:
+    """Delay before dial retry ``attempt`` (0-based): capped exponential
+    backoff with deterministic jitter.
+
+    The raw delay ``base * 2**attempt`` is clamped to ``cap`` and scaled
+    by a factor drawn from ``[1 - jitter, 1]`` using the caller's seeded
+    ``rng`` — reproducible per (rank, peer) pair, decorrelated across
+    pairs, so a thundering herd of dialers spreads out without any
+    global coordination.
+    """
+    raw = min(float(cap), float(base) * (2.0 ** max(0, attempt)))
+    return raw * (1.0 - jitter * rng.random())
+
+
+def dial_with_backoff(
+    endpoint: Endpoint,
+    rank: int,
+    dst: int,
+    deadline: float,
+    clock: Clock,
+    connect=socket.create_connection,
+) -> socket.socket:
+    """Connect to ``endpoint``, retrying until ``deadline`` on the clock.
+
+    The peer's listener may not exist yet (staggered multi-host join), so
+    refused/unreachable dials retry on the :func:`dial_backoff_s`
+    schedule, seeded per (rank, dst) pair so concurrent dialers
+    desynchronize deterministically.  Waits go through ``clock.sleep``
+    and the deadline is read from ``clock.now()`` — inject a manual
+    clock (and a fake ``connect``) to unit-test the schedule without
+    sockets or sleeps.
+    """
+    rng = random.Random(0x6D65_7368 ^ (rank << 20) ^ dst)
+    attempt = 0
+    last_err: Optional[Exception] = None
+    while True:
+        now = clock.now()
+        if now >= deadline:
+            break
+        try:
+            return connect(endpoint, timeout=min(1.0, max(0.1, deadline - now)))
+        except OSError as exc:  # listener may not be accepting yet
+            last_err = exc
+        delay = dial_backoff_s(attempt, rng)
+        attempt += 1
+        clock.sleep(min(delay, max(0.0, deadline - clock.now())))
+    raise TransportError(
+        f"rank {rank}: could not connect to rank {dst} at "
+        f"{endpoint[0]}:{endpoint[1]} after {attempt} attempts: {last_err}"
+    )
 
 
 def _read_exact_into(
@@ -121,32 +228,38 @@ def _sendmsg_all(
 
 
 class TcpTransport(Transport):
-    """One rank's endpoint of a localhost full-mesh TCP fabric.
+    """One rank's endpoint of a full-mesh TCP fabric.
 
     Parameters
     ----------
     rank, size:
         This endpoint's rank and the job size.
-    ports:
-        ``ports[r]`` is rank r's listening port on 127.0.0.1.
+    endpoints:
+        ``endpoints[r]`` is rank r's listening endpoint — a
+        ``(host, port)`` pair, or a bare port meaning 127.0.0.1 (the
+        localhost launcher's historical form).
     listener:
         This rank's already-bound listening socket (from the bootstrap).
     ledger:
         Wire accounting; a private ledger is created if omitted.
     connect_timeout:
         Wall-clock budget for mesh construction.
+    clock:
+        Time source for dial retries/backoff (injectable for tests).
     """
 
     def __init__(
         self,
         rank: int,
         size: int,
-        ports: List[int],
+        endpoints: Sequence[Union[int, Endpoint]],
         listener: socket.socket,
         ledger: Optional[WireLedger] = None,
         connect_timeout: float = CONNECT_TIMEOUT_S,
+        clock: Optional[Clock] = None,
     ):
         super().__init__(rank, size, ledger)
+        self._clock = clock if clock is not None else MonotonicClock()
         self._peers: Dict[int, socket.socket] = {}
         self._send_locks: Dict[int, threading.Lock] = {}
         #: per-peer header scratch, written under the peer's send lock —
@@ -157,16 +270,19 @@ class TcpTransport(Transport):
         self._selector = selectors.DefaultSelector()
         #: reusable receive buffers (header scratch + payload slabs)
         self.arena = RecvArena()
-        self._build_mesh(ports, listener, connect_timeout)
+        self._build_mesh(normalize_endpoints(endpoints), listener, connect_timeout)
 
     # -- bootstrap ----------------------------------------------------------
     def _build_mesh(
-        self, ports: List[int], listener: socket.socket, connect_timeout: float
+        self,
+        endpoints: List[Endpoint],
+        listener: socket.socket,
+        connect_timeout: float,
     ) -> None:
         deadline = time.monotonic() + connect_timeout
         # Connect down: this rank dials every lower rank's listener.
         for dst in range(self.rank):
-            sock = self._dial(ports[dst], dst, deadline)
+            sock = self._dial(endpoints[dst], dst, deadline)
             self._register(dst, sock)
             self.send(dst, Frame(FrameKind.HELLO, self.rank, 0), CATEGORY_CONTROL)
         # Accept up: every higher rank dials us and leads with HELLO.
@@ -194,20 +310,12 @@ class TcpTransport(Transport):
             self._register(frame.src, sock)
         listener.close()
 
-    def _dial(self, port: int, dst: int, deadline: float) -> socket.socket:
-        last_err: Optional[Exception] = None
-        while time.monotonic() < deadline:
-            try:
-                sock = socket.create_connection(("127.0.0.1", port), timeout=1.0)
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                return sock
-            except OSError as exc:  # listener may not be accepting yet
-                last_err = exc
-                time.sleep(0.02)
-        raise TransportError(
-            f"rank {self.rank}: could not connect to rank {dst} on port "
-            f"{port}: {last_err}"
+    def _dial(self, endpoint: Endpoint, dst: int, deadline: float) -> socket.socket:
+        sock = dial_with_backoff(
+            endpoint, self.rank, dst, deadline, self._clock
         )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
 
     def _register(self, src: int, sock: socket.socket) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)

@@ -186,8 +186,17 @@ def array_from_bytes(data: bytes) -> np.ndarray:
     return np.load(io.BytesIO(data), allow_pickle=False)
 
 
-def build_pipeline(config: DistConfig, spectrum: np.ndarray) -> LowCommConvolution3D:
-    """The pipeline object every rank (and the driver) constructs."""
+def build_pipeline(
+    config: DistConfig,
+    spectrum: np.ndarray,
+    plans=None,
+) -> LowCommConvolution3D:
+    """The pipeline object every rank (and the driver) constructs.
+
+    ``plans`` optionally shares a :class:`~repro.fft.pruned_plan
+    .PlanCache` across pipelines — the standing rank pool passes its
+    process-wide cache so FFT plans survive from job to job.
+    """
     return LowCommConvolution3D(
         config.n,
         config.k,
@@ -196,6 +205,7 @@ def build_pipeline(config: DistConfig, spectrum: np.ndarray) -> LowCommConvoluti
         batch=config.batch,
         interpolation=config.interpolation,
         real_kernel=config.real_kernel,
+        plans=plans,
     )
 
 
@@ -218,6 +228,7 @@ def rank_main(
     spectrum: Optional[np.ndarray] = None,
     post: Optional[Callable[[str, int, bytes], None]] = None,
     abort: Optional[Callable[[], None]] = None,
+    plans=None,
 ) -> RankResult:
     """Run one rank of the SPMD job; returns the rank's result.
 
@@ -236,6 +247,9 @@ def rank_main(
     abort:
         Crash hook for fault injection (never called unless this rank is
         ``config.fail_rank``).
+    plans:
+        Optional shared plan cache, forwarded to :func:`build_pipeline`
+        (the standing pool's warm-plan path).
     """
     rank, size = comm.rank, comm.size
     if rank == 0:
@@ -249,7 +263,7 @@ def rank_main(
         spectrum = array_from_bytes(comm.broadcast(None, root=0, tag=TAG_SPECTRUM))
         field = array_from_bytes(comm.broadcast(None, root=0, tag=TAG_FIELD))
 
-    pipeline = build_pipeline(config, spectrum)
+    pipeline = build_pipeline(config, spectrum, plans=plans)
 
     if config.overlap:
         phases = _streamed_phases(comm, config, pipeline, field, post, abort)

@@ -60,6 +60,36 @@ class TransportError(CommunicationError):
     """
 
 
+class PoolError(ReproError):
+    """A standing rank-pool operation failed (bootstrap, membership, job).
+
+    Base class for everything :mod:`repro.pool` can do other than run a
+    job to completion: rendezvous backends that cannot be reached,
+    agents that never publish, meshes that cannot re-form.  Transport
+    and liveness failures *inside* a running job keep their existing
+    :class:`CommunicationError` types — a pool error means the pool
+    itself (its roster, bootstrap, or control plane) misbehaved.
+    """
+
+
+class StaleGenerationError(PoolError):
+    """A pool message carried a roster generation that is no longer live.
+
+    Generation fencing: every mesh (re)formation bumps the roster
+    generation, and agents reject work stamped with an older one.  A
+    rank that was evicted (or partitioned during a re-form) can
+    therefore never execute — or answer for — a job belonging to the
+    roster that replaced it.
+    """
+
+    def __init__(self, message: str, *, seen: int = 0, current: int = 0):
+        super().__init__(message)
+        #: generation carried by the rejected message
+        self.seen = int(seen)
+        #: generation the receiver is fenced to
+        self.current = int(current)
+
+
 class ConcurrencyViolation(ReproError):
     """The runtime lock watcher observed an unsafe concurrency pattern.
 

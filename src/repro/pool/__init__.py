@@ -1,0 +1,68 @@
+"""Standing elastic rank pool with rendezvous bootstrap.
+
+:mod:`repro.dist` launches ranks, runs one job, and tears everything
+down — every run pays process spawn, mesh formation, and FFT plan
+construction.  This package keeps all of that **warm**: rank agents are
+long-lived processes that discover each other through a pluggable
+rendezvous, form the same :class:`~repro.dist.TcpTransport` mesh once,
+and then execute a *stream* of ``dist_run``-shaped jobs on it — plans
+and transports persist across jobs while the wire/copy ledgers stay
+exact per job.
+
+Layers:
+
+- :mod:`repro.pool.rendezvous` — agent discovery: ``file://`` shared
+  directory or ``tcp://`` coordinator, one :class:`AgentCard` per agent.
+- :mod:`repro.pool.membership` — the generation-numbered
+  :class:`Roster`: late-join admission, eviction, replacement seating,
+  and stale-generation fencing.
+- :mod:`repro.pool.jobs` — job execution on the standing mesh:
+  parked-frame-safe collectives, per-job ledger deltas, and the
+  checkpoint-handoff recovery job.
+- :mod:`repro.pool.agent` — the long-lived rank agent process.
+- :mod:`repro.pool.pool` — :class:`RankPool`: the controller
+  (``spawn``/``connect``/``submit``/``grow``/``down``) and the
+  :func:`pool_executor` seam for the xpr runner.
+- :mod:`repro.pool.cli` — ``python -m repro pool up|status|submit|down``.
+
+Everything is bitwise identical to ``run_serial`` — clean jobs, late
+joins, and mid-job rank death with checkpoint handoff alike.
+"""
+
+from repro.pool.agent import PoolAgent, agent_main, spawn_local_agents
+from repro.pool.jobs import PoolCommunicator, PoolJob, execute_job
+from repro.pool.membership import Member, Roster
+from repro.pool.pool import JOB_DEADLINE_S, PoolJobReport, RankPool, pool_executor
+from repro.pool.rendezvous import (
+    AgentCard,
+    CoordinatorServer,
+    FileRendezvous,
+    Rendezvous,
+    TcpRendezvous,
+    new_agent_id,
+    parse_rendezvous,
+    wait_for_cards,
+)
+
+__all__ = [
+    "AgentCard",
+    "CoordinatorServer",
+    "FileRendezvous",
+    "JOB_DEADLINE_S",
+    "Member",
+    "PoolAgent",
+    "PoolCommunicator",
+    "PoolJob",
+    "PoolJobReport",
+    "RankPool",
+    "Rendezvous",
+    "Roster",
+    "TcpRendezvous",
+    "agent_main",
+    "execute_job",
+    "new_agent_id",
+    "parse_rendezvous",
+    "pool_executor",
+    "spawn_local_agents",
+    "wait_for_cards",
+]

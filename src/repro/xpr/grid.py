@@ -30,7 +30,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from repro.errors import ConfigurationError
 
 #: Execution modes the trial registry knows how to run.
-MODES = ("serial", "parallel", "dist", "serve")
+MODES = ("serial", "parallel", "dist", "serve", "pool")
 
 #: Rank transports valid for ``mode="dist"`` trials.
 TRANSPORTS = ("local", "tcp")
@@ -113,6 +113,8 @@ class TrialSpec:
             parts.append(f"{self.transport}/p{self.ranks}")
             if self.overlap:
                 parts.append("overlap")
+        if self.mode == "pool":
+            parts.append(f"pool/p{self.ranks}")
         return " ".join(parts)
 
 
@@ -225,6 +227,22 @@ define_experiment(
             "transport": "local",
             "ranks": 2,
             "repeats": 2,
+        },
+    ),
+    # The standing-pool trial: a rendezvous-bootstrapped 2-rank TCP mesh
+    # runs the job twice through the pool_executor seam, so the gate
+    # watches both correctness (bitwise, wire/model) and pool warmth
+    # (warm resubmission must not rebuild plans).
+    ExperimentGrid(
+        "ref-quick",
+        fixed={
+            "mode": "pool",
+            "n": 32,
+            "k": 8,
+            "policy": "flat:2",
+            "transport": "tcp",
+            "ranks": 2,
+            "repeats": 1,
         },
     ),
 )

@@ -194,6 +194,73 @@ def run_serve_trial(spec: TrialSpec) -> Dict[str, float]:
     }
 
 
+def pool_trial_metrics(pool, spec: TrialSpec) -> Dict[str, float]:
+    """Run ``spec`` twice on a connected :class:`~repro.pool.RankPool`.
+
+    The first submission may be cold (plan builds); the second must be
+    warm — same mesh, same agents, plans served from the cache.  Both
+    results are bitwise-checked against ``run_serial`` and the warm
+    job's wire traffic is audited against the Eq 6 model, so the gate
+    watches correctness and pool warmth together.  ``speedup`` is
+    first-submit over warm-submit wall time.
+    """
+    import numpy as np
+
+    from repro.dist.launcher import default_spectrum
+    from repro.dist.worker import build_pipeline, composite_field
+    from repro.serve.clock import MonotonicClock
+
+    clock = MonotonicClock()
+    config = _dist_config(spec, num_ranks=spec.ranks, transport="tcp")
+    field = composite_field(spec.n, spec.seed)
+    spectrum = default_spectrum(config)
+    t0 = clock.now()
+    first = pool.submit(config, field=field, spectrum=spectrum)
+    first_s = clock.now() - t0
+    t1 = clock.now()
+    second = pool.submit(config, field=field, spectrum=spectrum)
+    warm_s = clock.now() - t1
+    serial = build_pipeline(config, spectrum).run_serial(field)
+    bitwise = np.array_equal(first.approx, serial.approx) and np.array_equal(
+        second.approx, serial.approx
+    )
+    return {
+        "bitwise_vs_serial": float(bitwise),
+        "wire_over_model": float(second.wire_over_model),
+        "exchange_wire_bytes": float(second.exchange_wire_bytes),
+        "first_submit_s": float(first_s),
+        "warm_submit_s": float(warm_s),
+        "speedup": float(first_s / warm_s) if warm_s > 0 else 0.0,
+        "warm_plan_misses": float(second.plan_misses),
+    }
+
+
+@REGISTRY.register("pool")
+def run_pool_trial(spec: TrialSpec) -> Dict[str, float]:
+    """One standing-pool trial on a private rendezvous-bootstrapped mesh.
+
+    Stands up a file-rendezvous pool of ``spec.ranks`` agents, routes the
+    spec through the :func:`~repro.pool.pool.pool_executor` runner seam
+    (the same path a ``Runner(executor=pool_executor(pool))`` takes), and
+    tears the pool down afterwards.
+    """
+    import tempfile
+
+    from repro.pool.pool import RankPool, pool_executor
+
+    rendezvous = f"file://{tempfile.mkdtemp(prefix='xpr-pool-')}"
+    pool = RankPool(rendezvous)
+    try:
+        pool.spawn(spec.ranks)
+        pool.connect(spec.ranks, timeout_s=30.0)
+        execute = pool_executor(pool)
+        # mode == "pool", so the seam routes to pool_trial_metrics; the
+        # entry-point argument is only the non-pool fall-through
+        return execute(run_pool_trial, spec)
+    finally:
+        pool.down()
+
+
 def bench_argument_parser(
     description: str,
     *,

@@ -1,0 +1,13 @@
+"""CLK001 positive fixture: direct wall-clock reads in a pool/ module."""
+
+import time
+from time import sleep
+
+
+def wait_for_cards(rendezvous, expected, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if len(rendezvous.cards()) >= expected:
+            return rendezvous.cards()
+        sleep(0.05)
+    raise TimeoutError("rendezvous never filled")

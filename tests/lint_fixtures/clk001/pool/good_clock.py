@@ -1,0 +1,16 @@
+"""CLK001 negative fixture: pool waits flow through the injectable clock."""
+
+
+def wait_for_cards(rendezvous, expected, timeout_s, clock):
+    deadline = clock.now() + timeout_s
+    while clock.now() < deadline:
+        if len(rendezvous.cards()) >= expected:
+            return rendezvous.cards()
+        clock.sleep(0.05)
+    raise TimeoutError("rendezvous never filled")
+
+
+def join_agent(process, timeout_s):
+    # process.join(timeout) is a scheduling primitive, not a clock read.
+    process.join(timeout_s)
+    return process.is_alive()

@@ -114,8 +114,20 @@ class TestInjectableClockRule:
         _, findings = lint_with("CLK001", "clk001/xpr/good_clock.py")
         assert findings == []
 
+    def test_fires_on_pool_tree(self):
+        _, findings = lint_with("CLK001", "clk001/pool/bad_clock.py")
+        assert len(findings) == 3
+        assert {"time.monotonic", "sleep"} == {
+            f.message.split("(")[0].split()[1] for f in findings
+        }
+
+    def test_silent_on_clock_injected_pool(self):
+        _, findings = lint_with("CLK001", "clk001/pool/good_clock.py")
+        assert findings == []
+
     def test_out_of_scope_outside_clocked_trees(self):
-        # The same time.* calls outside serve/ and xpr/ are not flagged.
+        # The same time.* calls outside serve/, xpr/, and pool/ are not
+        # flagged.
         _, findings = lint_with("CLK001", "lck002/bad_blocking.py")
         assert findings == []
 

@@ -1,0 +1,91 @@
+"""``python -m repro pool``: verbs, exit-code contract, file:// smoke.
+
+The CLI's exit codes are load-bearing — CI's pool-smoke job keys on
+**0** success / **1** operational failure / **2** bad arguments — so
+each class is pinned here, plus one full up → status → submit → down
+walk over a file rendezvous (the CI job's shape, in miniature).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.pool.cli import pool_main
+
+
+class TestExitCodeContract:
+    def test_bad_rendezvous_scheme_is_2(self, capsys):
+        assert pool_main(["status", "--rendezvous", "zk://nope"]) == 2
+        assert "unknown rendezvous scheme" in capsys.readouterr().err
+
+    def test_missing_rendezvous_is_an_argparse_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            pool_main(["status"])
+        assert excinfo.value.code == 2
+
+    def test_bad_configuration_is_2(self, tmp_path, capsys):
+        # zero ranks: configuration error, not operational
+        code = pool_main(
+            ["submit", "--rendezvous", f"file://{tmp_path}", "--ranks", "0"]
+        )
+        assert code == 2
+        assert "rank" in capsys.readouterr().err
+
+    def test_empty_pool_status_is_1(self, tmp_path, capsys):
+        assert pool_main(["status", "--rendezvous", f"file://{tmp_path}"]) == 1
+        assert "no agents published" in capsys.readouterr().out
+
+    def test_submit_without_agents_is_1(self, tmp_path, capsys):
+        code = pool_main(
+            [
+                "submit",
+                "--rendezvous",
+                f"file://{tmp_path}",
+                "--ranks",
+                "2",
+                "--timeout",
+                "0.2",
+            ]
+        )
+        assert code == 1
+        assert "0 of 2 agents" in capsys.readouterr().err
+
+    def test_down_with_nothing_running_is_0(self, tmp_path, capsys):
+        assert pool_main(["down", "--rendezvous", f"file://{tmp_path}"]) == 0
+        assert "stopped 0 of 0" in capsys.readouterr().out
+
+
+class TestFileRendezvousSmoke:
+    def test_up_status_submit_down(self, tmp_path, capsys):
+        url = f"file://{tmp_path}"
+        try:
+            assert pool_main(["up", "--rendezvous", url, "--ranks", "2"]) == 0
+            assert "2 agents up" in capsys.readouterr().out
+
+            assert pool_main(["status", "--rendezvous", url]) == 0
+            status = capsys.readouterr().out
+            assert status.count("alive") == 2
+
+            # dispatched through the top-level CLI to cover the intercept;
+            # --repeats 2 exercises the warm path in one command
+            code = main(
+                [
+                    "pool",
+                    "submit",
+                    "--rendezvous",
+                    url,
+                    "--ranks",
+                    "2",
+                    "--repeats",
+                    "2",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "bitwise=True" in out
+            assert "warm" in out and "cold" in out
+            assert "plan misses 0" in out  # the warm repeat
+        finally:
+            assert pool_main(["down", "--rendezvous", url]) == 0
+
+        # everything shut down: status now reports an empty rendezvous
+        assert pool_main(["status", "--rendezvous", url]) == 1

@@ -31,7 +31,7 @@ class TestMainDispatch:
     def test_xpr_verb_is_routed_from_the_main_cli(self, capsys):
         assert main(["xpr", "list"]) == 0
         out = capsys.readouterr().out
-        assert "ref-quick: 5 trial(s)" in out
+        assert "ref-quick: 6 trial(s)" in out
         assert "ref-full: 15 trial(s)" in out
 
 
@@ -41,7 +41,7 @@ class TestRunVerb:
                          "--dry-run"]) == 0
         out = capsys.readouterr().out
         assert "7f86aeae4624" in out
-        assert "5 trial(s)" in out
+        assert "6 trial(s)" in out
 
     def test_unknown_experiment_exits_2(self, capsys):
         assert xpr_main(["run", "--experiment", "nope"]) == 2

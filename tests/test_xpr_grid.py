@@ -142,9 +142,9 @@ class TestExperimentRegistry:
         names = experiment_names()
         assert "ref-quick" in names and "ref-full" in names
         quick = expand_experiment("ref-quick")
-        assert len(quick) == 5
+        assert len(quick) == 6
         assert {t.mode for t in quick} == {
-            "serial", "parallel", "serve", "dist",
+            "serial", "parallel", "serve", "dist", "pool",
         }
         assert len(expand_experiment("ref-full")) == 15
 
@@ -157,4 +157,5 @@ class TestExperimentRegistry:
             "4f60d596ac2d",
             "8500ad0e6704",
             "3c0e414592a2",
+            "17f35271da56",
         ]

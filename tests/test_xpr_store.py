@@ -170,13 +170,14 @@ class TestSeeding:
             )
 
     def test_committed_bench_reports_seed_cleanly(self, tmp_path):
-        # The four committed BENCH_*.json files must stay seedable: they
+        # The five committed BENCH_*.json files must stay seedable: they
         # are the provenance of the committed TRAJECTORY.jsonl baseline.
         paths = sorted(REPO.glob("BENCH_*.json"))
-        assert len(paths) == 4
+        assert len(paths) == 5
         store = TrajectoryStore(tmp_path / "t.jsonl")
         records = seed_from_bench_files(store, paths)
-        assert len(records) == 17
+        assert len(records) == 20
         assert {r.experiment for r in records} == {
-            "bench-dist", "bench-pipeline", "bench-serialize", "bench-serve",
+            "bench-dist", "bench-pipeline", "bench-pool",
+            "bench-serialize", "bench-serve",
         }
