@@ -27,6 +27,7 @@ import ast
 import io
 import json
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
@@ -49,8 +50,9 @@ PARSE_ERROR_ID = "PAR000"
 #: Directory names never descended into during discovery.
 EXCLUDED_DIRS = frozenset({"__pycache__", "lint_fixtures", ".git"})
 
-#: Schema version stamped into JSON output.
-JSON_SCHEMA_VERSION = 1
+#: Schema version stamped into JSON output.  v2 added per-rule wall-time
+#: ``timings`` and ``total_seconds`` (the CI lint-budget gate reads them).
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, order=True)
@@ -89,11 +91,29 @@ class FileContext:
     source: str
     tree: ast.Module
     lines: List[str] = dataclass_field(default_factory=list)
+    _cfgs: Dict[int, object] = dataclass_field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def parts(self) -> Tuple[str, ...]:
         """Path components of :attr:`relpath` (for directory scoping)."""
         return tuple(Path(self.relpath).parts)
+
+    def cfg(self, func: ast.AST, name: Optional[str] = None):
+        """Control-flow graph for one ``def``, built once per file.
+
+        Flow-sensitive rules (RES001, LCK003, GEN001) all walk the same
+        functions; caching by node identity means the CFG is constructed
+        once no matter how many rules ask.
+        """
+        key = id(func)
+        got = self._cfgs.get(key)
+        if got is None:
+            from repro.analysis.flow import build_cfg
+
+            got = self._cfgs[key] = build_cfg(func, name)
+        return got
 
 
 def _display_path(path: Path) -> str:
@@ -203,7 +223,16 @@ class LintEngine:
         self.rules = [rule_cls() for rule_cls in rules]
 
     def run(self, paths: Sequence[str | Path]) -> List[Finding]:
-        """Lint every file under ``paths``; returns sorted findings."""
+        """Lint every file under ``paths``; returns sorted findings.
+
+        Also populates :attr:`rule_seconds` (wall time per rule, across
+        ``check_file`` and ``finalize``) and :attr:`total_seconds` for the
+        ``--timing`` report and the CI lint-budget gate.
+        """
+        t_run = time.perf_counter()
+        self.rule_seconds: Dict[str, float] = {
+            rule.rule_id: 0.0 for rule in self.rules
+        }
         files = discover_files(paths)
         findings: List[Finding] = []
         tables: List[_SuppressionTable] = []
@@ -236,17 +265,24 @@ class LintEngine:
                 lines=lines,
             )
             for rule in self.rules:
-                for finding in rule.check_file(ctx):
+                t0 = time.perf_counter()
+                rule_findings = rule.check_file(ctx)
+                self.rule_seconds[rule.rule_id] += time.perf_counter() - t0
+                for finding in rule_findings:
                     if not table.suppresses(finding):
                         findings.append(finding)
         for rule in self.rules:
-            for finding in rule.finalize():
+            t0 = time.perf_counter()
+            rule_findings = rule.finalize()
+            self.rule_seconds[rule.rule_id] += time.perf_counter() - t0
+            for finding in rule_findings:
                 table = contexts.get(finding.path)
                 if table is None or not table.suppresses(finding):
                     findings.append(finding)
         for table in tables:
             findings.extend(table.unused())
         self.files_scanned = len(files)
+        self.total_seconds = time.perf_counter() - t_run
         return sorted(findings)
 
     def to_json(self, findings: Sequence[Finding]) -> str:
@@ -259,12 +295,25 @@ class LintEngine:
             "files_scanned": getattr(self, "files_scanned", 0),
             "rules": sorted(rule.rule_id for rule in self.rules),
             "counts": dict(sorted(counts.items())),
+            "timings": {
+                rid: round(sec, 6)
+                for rid, sec in sorted(
+                    getattr(self, "rule_seconds", {}).items()
+                )
+            },
+            "total_seconds": round(getattr(self, "total_seconds", 0.0), 6),
             "findings": [f.to_json() for f in findings],
         }
         return json.dumps(doc, indent=2) + "\n"
 
-    def to_text(self, findings: Sequence[Finding]) -> str:
-        """Render findings one per line, with a trailing summary."""
+    def to_text(
+        self, findings: Sequence[Finding], timings: bool = False
+    ) -> str:
+        """Render findings one per line, with a trailing summary.
+
+        With ``timings=True`` (``repro lint --timing``) a per-rule
+        wall-time column follows the summary, slowest rule first.
+        """
         lines = [f.format() for f in findings]
         n_err = sum(1 for f in findings if f.severity == "error")
         n_warn = len(findings) - n_err
@@ -272,6 +321,19 @@ class LintEngine:
             lines.append(f"{n_err} error(s), {n_warn} warning(s)")
         else:
             lines.append("clean: no findings")
+        if timings:
+            per_rule = getattr(self, "rule_seconds", {})
+            lines.append("rule timings:")
+            for rid, sec in sorted(
+                per_rule.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(f"  {rid:<8} {sec * 1000.0:8.1f} ms")
+            total = getattr(self, "total_seconds", 0.0)
+            files = getattr(self, "files_scanned", 0)
+            lines.append(
+                f"  {'total':<8} {total * 1000.0:8.1f} ms"
+                f"  ({files} files)"
+            )
         return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,324 @@
+"""RES001/LCK003: flow-sensitive must-release proofs.
+
+RES001 — acquired resources must be released on every path.
+
+The transports hold real OS resources: listener/peer sockets,
+``SendWindow`` pump threads, ``RecvArena`` slabs, file handles.  A leak
+on the *happy* path shows up immediately; a leak on the early-return or
+exception path shows up as a stuck pump thread three PRs later.  RES001
+builds the function's CFG (:mod:`repro.analysis.flow`) and runs a
+forward may-analysis: a fact is *generated* when a recognised
+acquisition is bound to a local name and *killed* when the resource is
+provably handed off or released —
+
+- a releasing method call on it (``.close()``, ``.release()``,
+  ``.stop()``, ``.shutdown()``, ``.terminate()``, ``.detach()``);
+- ownership transfer: passed as a call argument (``listeners.append(s)``,
+  ``TcpTransport(..., listener)``, ``arena.recycle(view)``), returned or
+  yielded, stored into an attribute/subscript, or aliased to another
+  name;
+- entering a ``with`` block on it; rebinding the name.
+
+Any fact still live at function exit is a conviction, printed with the
+escaping CFG path so the report names the exact branch sequence that
+leaks.  ``with ... as x`` acquisitions are never tracked (the context
+manager releases), and paths ending in ``os._exit``/``sys.exit`` never
+reach exit.  Lock ``.acquire()`` is deliberately excluded here — LCK003
+owns lock pairing so one defect is never reported twice.
+
+LCK003 — ``.acquire()`` must be paired with a guaranteed ``.release()``.
+
+The runtime ``lockwatch`` catches bad pairing when a test *executes* the
+path; LCK003 proves it statically for every path.  A bare
+``x.acquire()`` on a lock-named receiver generates a fact killed only by
+``x.release()`` on the same receiver; if any path reaches function exit
+still holding the lock, the conviction prints that path and suggests
+``with``/``try-finally``.  Non-blocking try-acquires
+(``acquire(False)``/``acquire(blocking=False)``) are skipped — held-ness
+depends on the return value, which only the runtime lockwatch can see.
+(Cross-method protocols — an object that acquires in one method and
+releases in another — should use a non-lock-like field name or a
+suppression comment; inside this codebase every lock is scoped to one
+function.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.flow import (
+    CFG,
+    CFGNode,
+    ForwardDataflow,
+    dotted_name,
+    format_witness,
+    functions_in,
+    path_witness,
+    stmt_expressions,
+)
+from repro.analysis.rules.base import Rule, _expr_tail, is_lock_name
+
+#: Method names that release the resource they are called on.
+RELEASING_METHODS = frozenset(
+    {"close", "release", "stop", "shutdown", "terminate", "detach"}
+)
+
+#: (name, gen-node index, line, description) — one tracked acquisition.
+_Fact = Tuple[str, int, int, str]
+
+
+def _acquisition_desc(call: ast.Call) -> Optional[str]:
+    """Human description of the resource a call acquires, or None."""
+    name = dotted_name(call.func)
+    tail = _expr_tail(call.func)
+    if name == "open":
+        return "file handle"
+    if tail in ("socket", "create_connection") and (
+        name is None or name.split(".")[0] == "socket" or tail == "socket"
+    ):
+        return "socket"
+    if tail == "send_window" or name == "SendWindow":
+        return "SendWindow"
+    if tail == "take" and isinstance(call.func, ast.Attribute):
+        recv = _expr_tail(call.func.value) or ""
+        if "arena" in recv.lower():
+            return "RecvArena slab"
+    return None
+
+
+def _node_gens_kills(node: CFGNode) -> Tuple[List[Tuple[str, str]], Set[str]]:
+    """Resource gens ``[(name, desc)]`` and killed names at one CFG node."""
+    gens: List[Tuple[str, str]] = []
+    kills: Set[str] = set()
+    stmt = node.stmt
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        # ``with x:`` releases x; ``with open(...) as f`` is never tracked
+        # (the context manager owns the release) — no Assign exists in a
+        # with-item, so the generic scan below contributes kills only.
+        for item in stmt.items:
+            if isinstance(item.context_expr, ast.Name):
+                kills.add(item.context_expr.id)
+    for expr in stmt_expressions(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        kills.add(target.id)  # rebinding drops the old fact
+                        if isinstance(sub.value, ast.Call):
+                            desc = _acquisition_desc(sub.value)
+                            if desc is not None:
+                                gens.append((target.id, desc))
+                    elif isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and isinstance(sub.value, ast.Name):
+                        kills.add(sub.value.id)  # escapes into a store
+                if isinstance(sub.value, ast.Name) and any(
+                    isinstance(t, ast.Name) for t in sub.targets
+                ):
+                    kills.add(sub.value.id)  # alias: new name owns it
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in RELEASING_METHODS
+                    and isinstance(func.value, ast.Name)
+                ):
+                    kills.add(func.value.id)
+                for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                    if isinstance(arg, ast.Starred):
+                        arg = arg.value
+                    if isinstance(arg, ast.Name):
+                        kills.add(arg.id)  # ownership may transfer
+            elif isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(sub, "value", None)
+                if value is not None:
+                    for leaf in ast.walk(value):
+                        if isinstance(leaf, ast.Name):
+                            kills.add(leaf.id)
+    return gens, kills
+
+
+class ResourceReleaseRule(Rule):
+    """RES001: acquired resources are released on every CFG path."""
+
+    rule_id = "RES001"
+    description = "sockets/windows/slabs/files released on every path"
+
+    #: Cheap textual probes: a file containing none of these cannot gen a
+    #: fact, so skip CFG construction entirely (keeps lint wall-time flat).
+    _PROBES = ("socket(", "create_connection(", "open(", "send_window", ".take(")
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Run the may-leak fixpoint over every function in the file."""
+        if not any(probe in ctx.source for probe in self._PROBES):
+            return []
+        findings: List[Finding] = []
+        for qualname, func in functions_in(ctx.tree):
+            cfg: CFG = ctx.cfg(func, qualname)
+            gen_map: Dict[int, Set[_Fact]] = {}
+            kill_map: Dict[int, Set[str]] = {}
+            for node in cfg.nodes:
+                gens, kills = _node_gens_kills(node)
+                if kills:
+                    kill_map[node.index] = kills
+                if gens:
+                    gen_map[node.index] = {
+                        (name, node.index, node.line, desc)
+                        for name, desc in gens
+                    }
+
+            def transfer(node: CFGNode, inp):
+                kills = kill_map.get(node.index, frozenset())
+                gens = gen_map.get(node.index, frozenset())
+                gen_names = {f[0] for f in gens}
+                out = {
+                    f
+                    for f in inp
+                    if f[0] not in kills and f[0] not in gen_names
+                }
+                out.update(gens)
+                return frozenset(out)
+
+            result = ForwardDataflow(cfg, transfer, may=True).run()
+            for name, gen_ix, line, desc in sorted(result.at(cfg.exit)):
+                witness = path_witness(
+                    cfg,
+                    gen_ix,
+                    cfg.exit,
+                    avoid=lambda n, name=name, gen_ix=gen_ix: (
+                        n.index != gen_ix
+                        and name in kill_map.get(n.index, frozenset())
+                    ),
+                )
+                path_text = (
+                    format_witness(witness) if witness else "(path elided)"
+                )
+                findings.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=line,
+                        col=1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{desc} '{name}' acquired in {qualname}() can "
+                            "reach function exit without being released: "
+                            f"escaping path {path_text} — close it on every "
+                            "path (with/try-finally) or hand ownership off"
+                        ),
+                    )
+                )
+        return findings
+
+
+class LockPairingRule(Rule):
+    """LCK003: bare ``.acquire()`` has a guaranteed ``.release()``."""
+
+    rule_id = "LCK003"
+    description = "acquire/release pairing outside `with` proven on all paths"
+
+    @staticmethod
+    def _is_try_acquire(call: ast.Call) -> bool:
+        """Non-blocking acquire: held-ness depends on the return value,
+        which a CFG cannot see — these are lockwatch's job, not LCK003's."""
+        if call.args and isinstance(call.args[0], ast.Constant):
+            if call.args[0].value is False:
+                return True
+        return any(
+            kw.arg == "blocking"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+            for kw in call.keywords
+        )
+
+    @classmethod
+    def _lock_calls(cls, node: CFGNode) -> Tuple[List[str], List[str]]:
+        """Lock receivers acquired / released at one CFG node."""
+        acquired: List[str] = []
+        released: List[str] = []
+        for expr in stmt_expressions(node.stmt):
+            for sub in ast.walk(expr):
+                if not (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                ):
+                    continue
+                receiver = sub.func.value
+                tail = _expr_tail(receiver)
+                if tail is None or not is_lock_name(tail):
+                    continue
+                try:
+                    key = ast.unparse(receiver)
+                except Exception:  # pragma: no cover
+                    key = tail
+                if sub.func.attr == "acquire" and not cls._is_try_acquire(
+                    sub
+                ):
+                    acquired.append(key)
+                elif sub.func.attr == "release":
+                    released.append(key)
+        return acquired, released
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        """Run the held-lock may-analysis over every function."""
+        if ".acquire(" not in ctx.source:
+            return []
+        findings: List[Finding] = []
+        for qualname, func in functions_in(ctx.tree):
+            cfg: CFG = ctx.cfg(func, qualname)
+            gen_map: Dict[int, Set[_Fact]] = {}
+            kill_map: Dict[int, Set[str]] = {}
+            for node in cfg.nodes:
+                acquired, released = self._lock_calls(node)
+                if released:
+                    kill_map[node.index] = set(released)
+                if acquired:
+                    gen_map[node.index] = {
+                        (key, node.index, node.line, "lock")
+                        for key in acquired
+                    }
+            if not gen_map:
+                continue
+
+            def transfer(node: CFGNode, inp):
+                kills = kill_map.get(node.index, frozenset())
+                gens = gen_map.get(node.index, frozenset())
+                gen_keys = {f[0] for f in gens}
+                out = {
+                    f
+                    for f in inp
+                    if f[0] not in kills and f[0] not in gen_keys
+                }
+                out.update(gens)
+                return frozenset(out)
+
+            result = ForwardDataflow(cfg, transfer, may=True).run()
+            for key, gen_ix, line, _desc in sorted(result.at(cfg.exit)):
+                witness = path_witness(
+                    cfg,
+                    gen_ix,
+                    cfg.exit,
+                    avoid=lambda n, key=key, gen_ix=gen_ix: (
+                        n.index != gen_ix
+                        and key in kill_map.get(n.index, frozenset())
+                    ),
+                )
+                path_text = (
+                    format_witness(witness) if witness else "(path elided)"
+                )
+                findings.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=line,
+                        col=1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{key}.acquire() in {qualname}() is not matched "
+                            "by a release on every path: escaping path "
+                            f"{path_text} — use `with {key}:` or "
+                            "try/finally release"
+                        ),
+                    )
+                )
+        return findings

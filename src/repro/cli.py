@@ -249,7 +249,9 @@ def _lint(args: argparse.Namespace) -> int:
     if args.format == "json":
         sys.stdout.write(engine.to_json(findings))
     else:
-        sys.stdout.write(engine.to_text(findings))
+        sys.stdout.write(
+            engine.to_text(findings, timings=getattr(args, "timing", False))
+        )
     return 1 if any(f.severity == "error" for f in findings) else 0
 
 
@@ -447,6 +449,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=["text", "json"],
         default="text",
         help="lint output format (json is the stable CI-artifact schema)",
+    )
+    lint.add_argument(
+        "--timing",
+        action="store_true",
+        help="append a per-rule wall-time column to the text report "
+        "(JSON output always carries timings)",
     )
     args = parser.parse_args(argv)
     if args.paths and args.experiment != "lint":

@@ -38,7 +38,10 @@ from repro.dist.transport import Transport
 from repro.dist.wire import Frame, FrameKind, FramePayload
 from repro.errors import CommunicationError, RankFailure, TransportError
 
-#: Tags for the pipeline's bulk-synchronous phases.
+#: Tags for the pipeline's bulk-synchronous phases.  This block is the
+#: *central wire-tag registry* (TAG001): every ``TAG_*`` constant lives
+#: here, values are unique, and every tag is paired with a receive-side
+#: dispatch somewhere in ``dist/`` or ``pool/``.
 TAG_SPECTRUM = 1
 TAG_FIELD = 2
 TAG_EXCHANGE = 3
@@ -46,6 +49,9 @@ TAG_BARRIER = 4
 #: End-of-stream marker for the streamed exchange: one empty frame per
 #: peer closes that peer's chunk stream.
 TAG_EXCHANGE_END = 5
+#: Broadcast tag for the merged checkpoint blob of a pool recovery job
+#: (used by ``repro.pool.jobs``, re-exported there for compatibility).
+TAG_POOL_CHECKPOINT = 6
 
 #: Slice size for receive waits so the heartbeat monitor is consulted
 #: even while blocked on a quiet fabric.

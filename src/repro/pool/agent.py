@@ -40,6 +40,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.dist.tcp import TcpTransport
 from repro.errors import ReproError, StaleGenerationError
 from repro.pool.jobs import PoolCommunicator, PoolJob, execute_job
+from repro.pool.membership import fence_generation
 from repro.pool.rendezvous import (
     AgentCard,
     Rendezvous,
@@ -169,14 +170,8 @@ class PoolAgent:
         if op == "job":
             job: PoolJob = message[1]
             try:
-                if job.generation != self.generation:
-                    raise StaleGenerationError(
-                        f"agent {self.agent_id} (rank {self.rank}) is at "
-                        f"generation {self.generation}, job {job.job_id} "
-                        f"is stamped {job.generation}",
-                        seen=job.generation,
-                        current=self.generation,
-                    )
+                # GEN001: every path into execute_job fences first
+                fence_generation(job.generation, self.generation)
                 if self.comm is None:
                     raise ReproError(
                         f"agent {self.agent_id} has no formed mesh for "

@@ -56,6 +56,7 @@ from repro.dist.collectives import (
     _POLL_SLICE_S,
     TAG_EXCHANGE,
     TAG_FIELD,
+    TAG_POOL_CHECKPOINT,
     TAG_SPECTRUM,
     Communicator,
 )
@@ -90,10 +91,6 @@ __all__ = [
     "execute_job",
     "wire_delta",
 ]
-
-#: Broadcast tag for the merged checkpoint blob of a recovery job.
-TAG_POOL_CHECKPOINT = 6
-
 
 @dataclass
 class PoolJob:

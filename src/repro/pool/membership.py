@@ -34,7 +34,25 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import PoolError, StaleGenerationError
 from repro.pool.rendezvous import AgentCard
 
-__all__ = ["Member", "Roster"]
+__all__ = ["Member", "Roster", "fence_generation"]
+
+
+def fence_generation(seen: int, current: int) -> None:
+    """Reject work stamped with any generation but ``current``.
+
+    The standalone form of :meth:`Roster.fence`, for call sites that hold
+    a generation number without holding a roster (a pool agent fencing an
+    incoming job against its own formed generation).  GEN001 statically
+    requires a fence on every path into ``execute_job``; this helper is
+    the canonical way to provide one.
+    """
+    if int(seen) != int(current):
+        raise StaleGenerationError(
+            f"roster generation {seen} rejected "
+            f"(current generation is {current})",
+            seen=int(seen),
+            current=int(current),
+        )
 
 
 @dataclass(frozen=True)
@@ -107,13 +125,7 @@ class Roster:
         flagged with the same type so callers handle both as "re-sync
         before retrying".
         """
-        if int(generation) != self.generation:
-            raise StaleGenerationError(
-                f"roster generation {generation} rejected "
-                f"(current generation is {self.generation})",
-                seen=int(generation),
-                current=self.generation,
-            )
+        fence_generation(generation, self.generation)
 
     # -- mutation (every change bumps the generation) -----------------------
     def admit(self, card: AgentCard) -> Member:

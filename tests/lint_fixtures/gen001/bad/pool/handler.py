@@ -1,0 +1,22 @@
+"""GEN001 positive fixture: unfenced job path + silent roster mutation."""
+
+
+def run_job(agent, job):
+    # no fence on any path before execute_job
+    if job.job_id < 0:
+        raise ValueError("bad job")
+    return execute_job(agent.comm, job)
+
+
+def execute_job(comm, job):
+    return comm, job
+
+
+class LeakyRoster:
+    def __init__(self):
+        self.generation = 0
+        self._members = {}
+
+    def admit(self, rank, card):
+        # mutates the members map without bumping the generation
+        self._members[rank] = card

@@ -1,0 +1,44 @@
+"""GEN001 negative fixture: fenced job paths and bumping mutations."""
+
+
+def run_job(agent, job):
+    fence_generation(job.generation, agent.generation)
+    if job.job_id < 0:
+        raise ValueError("bad job")
+    return execute_job(agent.comm, job)
+
+
+def run_job_compare(agent, job):
+    if job.generation != agent.generation:
+        raise RuntimeError("stale")
+    return execute_job(agent.comm, job)
+
+
+def fence_generation(seen, current):
+    if seen != current:
+        raise RuntimeError("stale")
+
+
+def execute_job(comm, job):
+    return comm, job
+
+
+class BumpingRoster:
+    def __init__(self):
+        self.generation = 0
+        self._members = {}
+
+    def admit(self, rank, card):
+        self._members[rank] = card
+        self.generation += 1
+
+    @classmethod
+    def form(cls, cards):
+        roster = cls(generation=1)
+        for rank, card in enumerate(cards):
+            roster._members[rank] = card
+        return roster
+
+    def read_only(self, rank):
+        # reads never require a bump
+        return self._members.get(rank)

@@ -1,0 +1,26 @@
+"""LCK003 positive fixture: acquire without a guaranteed release."""
+
+import threading
+
+_state_lock = threading.Lock()
+
+
+def update(state, key, value):
+    # the False branch returns with the lock still held
+    _state_lock.acquire()
+    if key in state:
+        state[key] = value
+        _state_lock.release()
+        return True
+    return False
+
+
+class Box:
+    def __init__(self):
+        self._box_lock = threading.Lock()
+        self.items = []
+
+    def push(self, item):
+        # no release on any path
+        self._box_lock.acquire()
+        self.items.append(item)

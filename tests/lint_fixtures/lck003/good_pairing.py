@@ -1,0 +1,41 @@
+"""LCK003 negative fixture: pairing proven on every path."""
+
+import threading
+
+_state_lock = threading.Lock()
+
+
+def update(state, key, value):
+    _state_lock.acquire()
+    try:
+        if key in state:
+            state[key] = value
+            return True
+        return False
+    finally:
+        _state_lock.release()
+
+
+def update_with(state, key, value):
+    with _state_lock:
+        state[key] = value
+
+
+class Box:
+    def __init__(self):
+        self._box_lock = threading.Lock()
+        self.items = []
+
+    def push(self, item):
+        self._box_lock.acquire()
+        self.items.append(item)
+        self._box_lock.release()
+
+    def pop_nonblocking(self):
+        # a failed non-blocking acquire must not count as held
+        if not self._box_lock.acquire(False):
+            return None
+        try:
+            return self.items.pop()
+        finally:
+            self._box_lock.release()

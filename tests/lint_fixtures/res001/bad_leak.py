@@ -1,0 +1,21 @@
+"""RES001 positive fixture: resources leak on at least one path."""
+
+import socket
+
+
+def serve_once(flag):
+    # leak 1: the early return skips close()
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    if flag:
+        return None
+    sock.close()
+    return True
+
+
+def pump_frames(transport, frames):
+    # leak 2: the window is never closed on any path
+    window = transport.send_window(window=2)
+    for frame in frames:
+        window.submit(frame)
+    return len(frames)

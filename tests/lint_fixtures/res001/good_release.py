@@ -1,0 +1,49 @@
+"""RES001 negative fixture: every acquisition is released or handed off."""
+
+import socket
+
+
+def serve_once(flag):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.bind(("127.0.0.1", 0))
+        if flag:
+            return None
+    finally:
+        sock.close()
+    return True
+
+
+def pump_frames(transport, frames):
+    window = transport.send_window(window=2)
+    try:
+        for frame in frames:
+            window.submit(frame)
+    except BaseException:
+        window.close()
+        raise
+    window.close()
+    return len(frames)
+
+
+def open_with(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def hand_off(registry):
+    # ownership transfer: the listener escapes into the registry
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    registry.append(listener)
+    return registry
+
+
+def stored(self_like):
+    # escape via attribute store: the object owns the release now
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    self_like.sock = sock
+
+
+def returned(arena):
+    view = arena.take(4096)
+    return view

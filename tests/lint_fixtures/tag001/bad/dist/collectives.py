@@ -1,0 +1,11 @@
+"""TAG001 positive fixture: the registry, with a duplicate tag value."""
+
+TAG_PING = 1
+TAG_PONG = 2
+TAG_ORPHAN = 3
+TAG_CLASH = 1  # duplicate of TAG_PING
+
+
+def broadcast(comm, payload, tag=TAG_PING):
+    comm.send_payload(0, tag, payload)
+    return comm.recv_payload(0, tag)

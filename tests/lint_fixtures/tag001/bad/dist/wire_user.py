@@ -1,0 +1,17 @@
+"""TAG001 positive fixture: stray definition plus one-sided tags."""
+
+from .collectives import TAG_ORPHAN, TAG_PONG
+
+TAG_LOCAL = 4  # defined outside the registry
+
+
+def send_orphan(comm, payload):
+    # TAG_ORPHAN is sent but nothing ever dispatches it on receive
+    comm.send_payload(1, TAG_ORPHAN, payload)
+
+
+def drain(comm, frame):
+    # TAG_PONG is dispatched on receive but never sent anywhere
+    if frame.tag == TAG_PONG:
+        return comm.recv_payload(0, TAG_PONG)
+    return None

@@ -1,0 +1,14 @@
+"""TAG001 negative fixture: unique tags, all homed in the registry."""
+
+TAG_PING = 1
+TAG_PONG = 2
+TAG_STREAM_END = 3
+
+
+def broadcast(comm, payload, tag=TAG_PING):
+    comm.send_payload(0, tag, payload)
+    return comm.recv_payload(0, tag)
+
+
+def barrier(comm, tag=TAG_PONG):
+    comm.exchange({}, tag)

@@ -1,0 +1,14 @@
+"""TAG001 negative fixture: every tag paired send-side and receive-side."""
+
+from .collectives import TAG_STREAM_END
+
+
+def close_stream(comm, peers):
+    for peer in peers:
+        comm.send_payload(peer, TAG_STREAM_END, b"")
+
+
+def pump(comm, frame):
+    if frame.tag == TAG_STREAM_END:
+        return None
+    return frame

@@ -156,6 +156,7 @@ class TestRecvArena:
         arena = RecvArena()
         view = arena.take(5000)
         assert len(view.obj) == 8192
+        arena.recycle(view)
 
     def test_recycle_enables_reuse(self):
         arena = RecvArena()
@@ -166,6 +167,7 @@ class TestRecvArena:
         assert arena.slabs_created == created  # no new slab
         assert arena.slabs_reused >= 1
         assert second.obj is first.obj
+        arena.recycle(second)
 
     def test_warm_pool_serves_first_small_take(self):
         arena = RecvArena()

@@ -1,0 +1,346 @@
+"""CFG construction and dataflow-fixpoint tests for repro.analysis.flow.
+
+Edge lists are pinned exactly for the canonical statement shapes —
+branch diamonds, loops with break/continue, try/finally with the
+duplicated finally suite, ``with``, exception handlers, and terminal
+calls — so any change to the lowering is a visible diff here, not a
+silent change in what the flow-sensitive rules prove.
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis.flow import (
+    ForwardDataflow,
+    build_cfg,
+    format_witness,
+    functions_in,
+    path_witness,
+    stmt_expressions,
+)
+
+
+def cfg_of(src, name=None):
+    tree = ast.parse(src)
+    funcs = dict(functions_in(tree))
+    fn = funcs[name] if name else next(iter(funcs.values()))
+    return build_cfg(fn, name)
+
+
+class TestCfgShapes:
+    def test_if_else_diamond(self):
+        cfg = cfg_of(
+            "def diamond(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        assert cfg.edges() == [
+            ("entry", "line 2: if x"),
+            ("line 2: if x", "line 3: a = 1"),
+            ("line 2: if x", "line 5: a = 2"),
+            ("line 3: a = 1", "line 6: return a"),
+            ("line 5: a = 2", "line 6: return a"),
+            ("line 6: return a", "function exit"),
+        ]
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of(
+            "def maybe(x):\n"
+            "    if x:\n"
+            "        x += 1\n"
+            "    return x\n"
+        )
+        edges = cfg.edges()
+        assert ("line 2: if x", "line 4: return x") in edges  # false arm
+        assert ("line 3: x += 1", "line 4: return x") in edges
+
+    def test_loop_with_break_and_continue(self):
+        cfg = cfg_of(
+            "def loop(items):\n"
+            "    total = 0\n"
+            "    for item in items:\n"
+            "        if item < 0:\n"
+            "            break\n"
+            "        if item == 0:\n"
+            "            continue\n"
+            "        total += item\n"
+            "    return total\n"
+        )
+        assert cfg.edges() == [
+            ("entry", "line 2: total = 0"),
+            ("line 2: total = 0", "line 3: for item in items"),
+            ("line 3: for item in items", "line 4: if item < 0"),
+            ("line 3: for item in items", "line 9: return total"),
+            ("line 4: if item < 0", "line 5: break"),
+            ("line 4: if item < 0", "line 6: if item == 0"),
+            ("line 5: break", "line 9: return total"),
+            ("line 6: if item == 0", "line 7: continue"),
+            ("line 6: if item == 0", "line 8: total += item"),
+            ("line 7: continue", "line 3: for item in items"),
+            ("line 8: total += item", "line 3: for item in items"),
+            ("line 9: return total", "function exit"),
+        ]
+
+    def test_while_true_has_no_fallthrough_exit(self):
+        cfg = cfg_of(
+            "def forever(queue):\n"
+            "    while True:\n"
+            "        item = queue.get()\n"
+            "        if item is None:\n"
+            "            return item\n"
+        )
+        assert cfg.edges() == [
+            ("entry", "line 2: while True"),
+            ("line 2: while True", "line 3: item = queue.get()"),
+            ("line 3: item = queue.get()", "line 4: if item is None"),
+            ("line 4: if item is None", "line 2: while True"),
+            ("line 4: if item is None", "line 5: return item"),
+            ("line 5: return item", "function exit"),
+        ]
+
+    def test_try_finally_duplicates_finally_for_exceptional_path(self):
+        cfg = cfg_of(
+            "def guarded(path):\n"
+            "    handle = open(path)\n"
+            "    try:\n"
+            "        data = handle.read()\n"
+            "    finally:\n"
+            "        handle.close()\n"
+            "    return data\n"
+        )
+        # the finally suite appears on the normal path (-> return) AND on
+        # the exceptional copy (-> function exit): a release inside
+        # finally therefore kills leak facts on both
+        assert cfg.edges() == [
+            ("entry", "line 2: handle = open(path)"),
+            ("line 2: handle = open(path)", "line 3: try"),
+            ("line 3: try", "line 4: data = handle.read()"),
+            ("line 4: data = handle.read()", "line 6: handle.close()"),
+            ("line 6: handle.close()", "function exit"),
+            ("line 6: handle.close()", "line 7: return data"),
+            ("line 7: return data", "function exit"),
+        ]
+
+    def test_return_inside_try_routes_through_finally(self):
+        cfg = cfg_of(
+            "def early(res):\n"
+            "    try:\n"
+            "        return res.value\n"
+            "    finally:\n"
+            "        res.close()\n"
+        )
+        edges = cfg.edges()
+        assert ("line 3: return res.value", "line 5: res.close()") in edges
+        assert ("line 5: res.close()", "function exit") in edges
+        # the return must NOT reach exit directly, skipping the finally
+        assert ("line 3: return res.value", "function exit") not in edges
+
+    def test_except_handler_and_raise(self):
+        cfg = cfg_of(
+            "def handled(sock):\n"
+            "    try:\n"
+            "        sock.send(b'x')\n"
+            "    except OSError:\n"
+            "        sock.close()\n"
+            "        raise\n"
+            "    return True\n"
+        )
+        assert cfg.edges() == [
+            ("entry", "line 2: try"),
+            ("line 2: try", "line 3: sock.send(b'x')"),
+            ("line 3: sock.send(b'x')", "line 4: except OSError"),
+            ("line 3: sock.send(b'x')", "line 7: return True"),
+            ("line 4: except OSError", "line 5: sock.close()"),
+            ("line 5: sock.close()", "line 6: raise"),
+            ("line 6: raise", "function exit"),
+            ("line 7: return True", "function exit"),
+        ]
+
+    def test_with_is_one_header_node(self):
+        cfg = cfg_of(
+            "def scoped(lock, state):\n"
+            "    with lock:\n"
+            "        state += 1\n"
+            "    return state\n"
+        )
+        assert cfg.edges() == [
+            ("entry", "line 2: with lock"),
+            ("line 2: with lock", "line 3: state += 1"),
+            ("line 3: state += 1", "line 4: return state"),
+            ("line 4: return state", "function exit"),
+        ]
+
+    def test_terminal_call_has_no_successors(self):
+        cfg = cfg_of(
+            "def bails(code):\n"
+            "    import os\n"
+            "    if code:\n"
+            "        os._exit(1)\n"
+            "    return code\n"
+        )
+        edges = cfg.edges()
+        assert not [e for e in edges if e[0] == "line 4: os._exit(1)"]
+        assert ("line 3: if code", "line 5: return code") in edges
+
+    def test_functions_in_yields_dotted_qualnames(self):
+        tree = ast.parse(
+            "class Outer:\n"
+            "    def method(self):\n"
+            "        def inner():\n"
+            "            pass\n"
+            "        return inner\n"
+            "def top():\n"
+            "    pass\n"
+        )
+        names = [name for name, _ in functions_in(tree)]
+        assert names == ["Outer.method", "Outer.method.inner", "top"]
+
+    def test_compound_headers_expose_only_their_own_expressions(self):
+        stmt = ast.parse("if x:\n    y()\n").body[0]
+        exprs = stmt_expressions(stmt)
+        assert len(exprs) == 1
+        assert isinstance(exprs[0], ast.Name)  # the test, never the body
+
+
+class TestForwardDataflow:
+    @staticmethod
+    def _gen_kill(cfg, gens, kills):
+        """transfer from {label-substring: facts} gen/kill tables."""
+
+        def transfer(node, inp):
+            out = set(inp)
+            for probe, facts in kills.items():
+                if probe in node.label:
+                    out -= facts
+            for probe, facts in gens.items():
+                if probe in node.label:
+                    out |= facts
+            return frozenset(out)
+
+        return transfer
+
+    def test_may_union_keeps_fact_alive_on_one_path(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    r = acquire()\n"
+            "    if x:\n"
+            "        release(r)\n"
+            "    return x\n"
+        )
+        transfer = self._gen_kill(
+            cfg, {"acquire()": {"r"}}, {"release(r)": {"r"}}
+        )
+        result = ForwardDataflow(cfg, transfer, may=True).run()
+        assert result.at(cfg.exit) == frozenset({"r"})
+
+    def test_must_intersection_requires_every_path(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        fence()\n"
+            "    execute()\n"
+        )
+        transfer = self._gen_kill(cfg, {"fence()": {"fenced"}}, {})
+        result = ForwardDataflow(cfg, transfer, may=False).run()
+        exec_ix = next(
+            n.index for n in cfg.nodes if "execute()" in n.label
+        )
+        assert "fenced" not in result.at(exec_ix)
+
+    def test_must_passes_when_fence_dominates(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    fence()\n"
+            "    if x:\n"
+            "        execute()\n"
+            "    execute()\n"
+        )
+        transfer = self._gen_kill(cfg, {"fence()": {"fenced"}}, {})
+        result = ForwardDataflow(cfg, transfer, may=False).run()
+        for node in cfg.nodes:
+            if "execute()" in node.label:
+                assert "fenced" in result.at(node.index)
+
+    def test_loop_fixpoint_terminates_and_propagates(self):
+        cfg = cfg_of(
+            "def f(items):\n"
+            "    r = acquire()\n"
+            "    for i in items:\n"
+            "        use(i)\n"
+            "    return r\n"
+        )
+        transfer = self._gen_kill(cfg, {"acquire()": {"r"}}, {})
+        result = ForwardDataflow(cfg, transfer, may=True).run()
+        assert result.at(cfg.exit) == frozenset({"r"})
+
+
+class TestPathWitness:
+    def test_witness_avoids_kill_nodes(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    r = acquire()\n"
+            "    if x:\n"
+            "        release(r)\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        start = next(n.index for n in cfg.nodes if "acquire" in n.label)
+        path = path_witness(
+            cfg, start, cfg.exit, avoid=lambda n: "release" in n.label
+        )
+        labels = [n.label for n in path]
+        assert labels[0].endswith("r = acquire()")
+        assert labels[-1] == "function exit"
+        assert not any("release" in lab for lab in labels)
+
+    def test_witness_is_none_when_every_path_is_blocked(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    r = acquire()\n"
+            "    release(r)\n"
+            "    return 1\n"
+        )
+        start = next(n.index for n in cfg.nodes if "acquire" in n.label)
+        path = path_witness(
+            cfg, start, cfg.exit, avoid=lambda n: "release" in n.label
+        )
+        assert path is None
+
+    def test_format_witness_elides_long_paths(self):
+        cfg = cfg_of(
+            "def f():\n" + "".join(f"    x{i} = {i}\n" for i in range(20))
+        )
+        path = path_witness(cfg, cfg.entry, cfg.exit)
+        text = format_witness(path)
+        assert "..." in text
+        assert text.endswith("function exit")
+        assert text.count("->") < 12
+
+    def test_witness_rendering_reads_like_source(self):
+        cfg = cfg_of(
+            "def f(flag):\n"
+            "    sock = connect()\n"
+            "    if flag:\n"
+            "        return None\n"
+            "    sock.close()\n"
+            "    return True\n"
+        )
+        start = next(n.index for n in cfg.nodes if "connect" in n.label)
+        path = path_witness(
+            cfg, start, cfg.exit, avoid=lambda n: "close" in n.label
+        )
+        text = format_witness(path)
+        assert text == (
+            "line 2: sock = connect() -> line 3: if flag -> "
+            "line 4: return None -> function exit"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -215,6 +215,96 @@ class TestNumpyContractRule:
         assert findings == []
 
 
+class TestResourceReleaseRule:
+    def test_fires_on_leaky_paths_with_witness(self):
+        _, findings = lint_with("RES001", "res001/bad_leak.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "socket 'sock'" in messages
+        assert "SendWindow 'window'" in messages
+        # convictions name the escaping CFG path, not just the acquire line
+        for f in findings:
+            assert "escaping path" in f.message
+            assert "function exit" in f.message
+        leak = next(f for f in findings if "sock" in f.message)
+        assert "line" in leak.message  # witness steps carry line numbers
+
+    def test_silent_on_released_and_handed_off_resources(self):
+        _, findings = lint_with("RES001", "res001/good_release.py")
+        assert findings == []
+
+
+class TestLockPairingRule:
+    def test_fires_on_unreleased_paths_with_witness(self):
+        _, findings = lint_with("LCK003", "lck003/bad_pairing.py")
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "_state_lock.acquire()" in messages
+        assert "escaping path" in messages
+        assert "with" in messages  # the fix suggestion
+
+    def test_silent_on_paired_with_and_try_acquire(self):
+        _, findings = lint_with("LCK003", "lck003/good_pairing.py")
+        assert findings == []
+
+
+class TestWireTagRule:
+    BAD = ("tag001/bad/dist/collectives.py", "tag001/bad/dist/wire_user.py")
+    GOOD = ("tag001/good/dist/collectives.py", "tag001/good/dist/wire_user.py")
+
+    def test_fires_on_duplicate_orphan_and_stray_tags(self):
+        _, findings = lint_with("TAG001", *self.BAD)
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "duplicate wire tag value 1" in messages
+        assert "TAG_CLASH" in messages and "TAG_PING" in messages
+        assert "TAG_LOCAL" in messages  # defined outside the registry
+        assert "TAG_ORPHAN" in messages  # sent but never received
+        assert "TAG_PONG" in messages  # received but never sent
+
+    def test_both_sites_are_named(self):
+        _, findings = lint_with("TAG001", *self.BAD)
+        dup = next(f for f in findings if "duplicate" in f.message)
+        # the message carries path:line for both colliding definitions
+        assert dup.message.count(":") >= 2
+        assert "collectives.py" in dup.message
+
+    def test_silent_on_registry_homed_paired_tags(self):
+        _, findings = lint_with("TAG001", *self.GOOD)
+        assert findings == []
+
+    def test_real_registry_is_the_single_home(self):
+        # the shipped tree keeps every TAG_* in dist/collectives.py,
+        # including the pool checkpoint tag this rule forced home
+        from repro.dist import collectives
+        from repro.pool import jobs
+
+        assert jobs.TAG_POOL_CHECKPOINT == collectives.TAG_POOL_CHECKPOINT
+
+
+class TestGenerationFenceRule:
+    def test_fires_on_unfenced_execute_and_silent_mutation(self):
+        _, findings = lint_with("GEN001", "gen001/bad/pool/handler.py")
+        assert len(findings) == 2
+        unfenced = next(f for f in findings if "execute_job" in f.message)
+        assert "fence" in unfenced.message
+        assert "unfenced path" in unfenced.message
+        silent = next(f for f in findings if "admit" in f.message)
+        assert "generation" in silent.message
+
+    def test_silent_on_fenced_paths_and_bumping_mutations(self):
+        _, findings = lint_with("GEN001", "gen001/good/pool/handler.py")
+        assert findings == []
+
+    def test_out_of_scope_outside_pool(self, tmp_path):
+        # the same shapes outside a pool/ component are not flagged
+        bad = FIXTURES / "gen001" / "bad" / "pool" / "handler.py"
+        stray = tmp_path / "handler.py"
+        stray.write_text(bad.read_text())
+        engine = LintEngine([rule_by_id("GEN001")])
+        assert engine.run([stray]) == []
+
+
 class TestSuppressions:
     def test_disable_comment_silences_and_stale_comment_warns(self):
         engine = LintEngine()
@@ -271,6 +361,12 @@ class TestEngine:
             assert set(entry) == {
                 "path", "line", "col", "rule", "message", "severity",
             }
+        # schema v2: per-rule wall time rides along for CI budgets
+        assert set(doc["timings"]) == set(doc["rules"])
+        assert all(sec >= 0.0 for sec in doc["timings"].values())
+        assert doc["total_seconds"] >= max(doc["timings"].values())
+        for new_rule in ("RES001", "LCK003", "TAG001", "GEN001"):
+            assert new_rule in doc["rules"]
 
     def test_rule_by_id_unknown_is_configuration_error(self):
         with pytest.raises(ConfigurationError, match="unknown lint rule"):
@@ -294,6 +390,13 @@ class TestCli:
         assert main(["lint", str(bad), "--format=json"]) == 1
         doc = json.loads(capsys.readouterr().out)
         assert doc["counts"] == {"API001": 3}
+
+    def test_lint_timing_table(self, capsys):
+        good = FIXTURES / "clk001" / "serve" / "good_clock.py"
+        assert main(["lint", str(good), "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "rule timings:" in out
+        assert "RES001" in out and "ms" in out
 
     def test_lint_missing_path_exit_2(self, capsys):
         assert main(["lint", "definitely/not/here"]) == 2
