@@ -17,6 +17,8 @@ Usage::
                                     # run the end-to-end pipeline itself
     python -m repro serve-bench --requests 16
                                     # batched serving vs naive baseline
+    python -m repro serve --backend pool://file:///tmp/rdv --ranks 4
+                                    # dist-backed serving on a standing pool
     python -m repro dist-run --ranks 4 --transport tcp
                                     # real multi-process SPMD run
     python -m repro lint src tests  # project-specific static analysis
@@ -282,26 +284,174 @@ def _serve_bench(args: argparse.Namespace) -> None:
         mode="parallel" if args.mode == "parallel" else "serial",
         max_workers=args.workers,
     )
-    report = run_serve_benchmark(spec, config)
+    pool = None
+    own_pool = False
+    if args.pool:
+        from repro.pool.pool import RankPool
+
+        if args.pool == "auto":
+            import tempfile
+
+            rendezvous = f"file://{tempfile.mkdtemp(prefix='serve-bench-pool-')}"
+            pool = RankPool(rendezvous)
+            pool.spawn(args.pool_ranks)
+            own_pool = True
+        else:
+            pool = RankPool(args.pool)
+        pool.connect(args.pool_ranks)
+    try:
+        report = run_serve_benchmark(spec, config, pool=pool)
+    finally:
+        if pool is not None:
+            pool.down() if own_pool else pool.disconnect()
     payload = bench_report_json(spec, report, config)
     out = write_bench(payload, args.output)
+    rows = [
+        ["requests (kernels)", f"{spec.num_requests} ({spec.num_kernels})"],
+        ["n / k / policy", f"{spec.n} / {spec.k} / {spec.policy}"],
+        ["naive (s)", f"{report.naive_s:.3f}"],
+        ["batched (s)", f"{report.batched_s:.3f}"],
+        ["speedup", f"{report.speedup:.2f}x"],
+        ["batches executed", report.batches],
+        ["mean batch size", f"{report.batch_size_mean:.1f}"],
+        ["bitwise identical", report.bitwise_identical],
+    ]
+    pool_row = report.extras.get("pool_backed")
+    if pool_row:
+        rows += [
+            ["pool-backed (s)", f"{pool_row['elapsed_s']:.3f}"],
+            ["pool-backed ranks", pool_row["ranks"]],
+            ["pool-backed bitwise", pool_row["bitwise_identical"]],
+            ["pool-backed plan misses", pool_row["plan_misses"]],
+        ]
+    rows.append(["report", str(out)])
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title="serve-bench: batched serving vs naive executor",
+        )
+    )
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Serve a deterministic stream, locally or on a standing rank pool.
+
+    With ``--backend pool://<rendezvous>`` every batch runs as jobs on
+    the already-up pool (``repro pool up`` owns agent lifecycle); an
+    optional ``--kill-job`` injects a rank death at that job to prove
+    transparent failover.  Results are audited bitwise against the
+    in-process batched server; exits 1 on any failed request or mismatch.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    from repro.serve.dist_backend import PoolBackend
+    from repro.serve.loadgen import LoadSpec, parse_policy, run_batched_server
+    from repro.serve.request import DEFAULT_TENANT
+    from repro.serve.server import ConvolutionServer, ServerConfig
+
+    spec = LoadSpec(
+        n=args.n,
+        k=args.k,
+        num_requests=args.requests,
+        num_kernels=args.kernels,
+        sigma=args.sigma,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    policy = parse_policy(args.policy)
+
+    def server_config() -> ServerConfig:
+        return ServerConfig(
+            n=args.n,
+            k=args.k,
+            max_batch_size=args.max_batch_size,
+            max_wait_s=args.max_wait,
+            default_policy=policy,
+        )
+
+    # In-process reference pass: the bitwise audit target.
+    _, local_results, _ = run_batched_server(spec, policy, server_config())
+    if args.backend == "local":
+        print("backend 'local' is the reference path itself; nothing to audit")
+        return 0
+    if not args.backend.startswith("pool://"):
+        raise ReproError(
+            f"--backend must be 'local' or 'pool://<rendezvous-url>', "
+            f"got {args.backend!r}"
+        )
+    rendezvous = args.backend[len("pool://") :]
+
+    job_hook = None
+    if args.kill_job is not None:
+
+        def job_hook(job_index, config):
+            if job_index != args.kill_job:
+                return config
+            return dataclasses.replace(
+                config, fail_rank=args.kill_rank, fail_stage=args.kill_stage
+            )
+
+    from repro.pool.pool import RankPool
+
+    pool = RankPool(rendezvous)
+    pool.connect(args.ranks)
+    try:
+        backend = PoolBackend({"pool0": pool}, job_hook=job_hook)
+        server = ConvolutionServer(server_config(), executor=backend)
+        for name, spectrum in spec.kernels().items():
+            server.register_kernel(name, spectrum)
+        handles = [
+            server.submit(
+                item["field"],
+                kernel=item["kernel"],
+                tenant=item.get("tenant", DEFAULT_TENANT),
+            )
+            for item in spec.requests()
+        ]
+        server.drain()
+        failed = [h for h in handles if h.exception() is not None]
+        results = {
+            i: h.result(timeout=0).approx
+            for i, h in enumerate(handles)
+            if h.exception() is None
+        }
+        bitwise = all(
+            np.array_equal(results[i], local_results[i]) for i in results
+        )
+        snap = server.snapshot()
+        server.shutdown()
+    finally:
+        pool.disconnect()
+    counters = snap["counters"]
+    last = snap.get("backend", {}).get("last_job", {})
+    tenants = snap.get("backend", {}).get("tenants", {})
     print(
         format_table(
             ["quantity", "value"],
             [
-                ["requests (kernels)", f"{spec.num_requests} ({spec.num_kernels})"],
-                ["n / k / policy", f"{spec.n} / {spec.k} / {spec.policy}"],
-                ["naive (s)", f"{report.naive_s:.3f}"],
-                ["batched (s)", f"{report.batched_s:.3f}"],
-                ["speedup", f"{report.speedup:.2f}x"],
-                ["batches executed", report.batches],
-                ["mean batch size", f"{report.batch_size_mean:.1f}"],
-                ["bitwise identical", report.bitwise_identical],
-                ["report", str(out)],
+                ["backend / ranks", f"pool://{rendezvous} / {args.ranks}"],
+                ["requests completed", counters.get("requests_completed", 0)],
+                ["requests failed", len(failed)],
+                ["bitwise identical to local serve", bitwise],
+                ["injected kill", args.kill_job if args.kill_job is not None
+                 else "none"],
+                ["pool recoveries", counters.get("pool.recoveries", 0)],
+                ["ranks replaced", counters.get("pool.replacements", 0)],
+                ["generation bumps", counters.get("pool.generation_bumps", 0)],
+                ["last job generation", last.get("generation", "-")],
+                ["last job plan misses", last.get("plan_misses", "-")],
+                [
+                    "tenant wire bytes",
+                    {t: d["sent_bytes"] for t, d in tenants.items()} or "-",
+                ],
             ],
-            title="serve-bench: batched serving vs naive executor",
+            title="serve: dist-backed serving audit",
         )
     )
+    return 1 if (failed or not bitwise) else 0
 
 
 COMMANDS: Dict[str, Callable[[], None]] = {
@@ -344,9 +494,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(COMMANDS)
-        + ["all", "pipeline", "serve-bench", "dist-run", "lint", "xpr", "pool"],
+        + ["all", "pipeline", "serve", "serve-bench", "dist-run", "lint",
+           "xpr", "pool"],
         help="which experiment to run ('pipeline' runs the end-to-end "
-        "convolution itself; 'serve-bench' benchmarks the batching "
+        "convolution itself; 'serve' audits dist-backed serving on a "
+        "standing pool; 'serve-bench' benchmarks the batching "
         "service; 'dist-run' executes the pipeline as a real multi-process "
         "SPMD job; 'lint' runs the project-specific static analysis; "
         "'xpr' orchestrates experiment grids and regression gates — "
@@ -443,6 +595,43 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_serve.json",
         help="where to write the benchmark report JSON",
     )
+    serve.add_argument(
+        "--pool",
+        default=None,
+        help="serve-bench: also A/B the pool-backed path — 'auto' spawns "
+        "a private pool of --pool-ranks agents, or pass a rendezvous URL "
+        "to connect to an already-up pool",
+    )
+    serve.add_argument(
+        "--pool-ranks",
+        type=int,
+        default=2,
+        help="rank count for --pool (must match the standing pool's size)",
+    )
+    serve.add_argument(
+        "--backend",
+        default="local",
+        help="serve: 'local' or 'pool://<rendezvous-url>' (an already-up "
+        "pool; --ranks many agents)",
+    )
+    serve.add_argument(
+        "--kill-job",
+        type=int,
+        default=None,
+        help="serve: inject a rank death at this 1-based pool job index "
+        "(proves transparent failover)",
+    )
+    serve.add_argument(
+        "--kill-rank",
+        type=int,
+        default=1,
+        help="which rank --kill-job kills",
+    )
+    serve.add_argument(
+        "--kill-stage",
+        default="before_checkpoint",
+        help="pipeline stage --kill-job kills at (see dist FAIL_STAGES)",
+    )
     lint = parser.add_argument_group("lint options")
     lint.add_argument(
         "--format",
@@ -464,6 +653,8 @@ def main(argv: list[str] | None = None) -> int:
             return _lint(args)
         if args.experiment == "pipeline":
             _pipeline(args)
+        elif args.experiment == "serve":
+            return _serve(args)
         elif args.experiment == "serve-bench":
             _serve_bench(args)
         elif args.experiment == "dist-run":

@@ -46,7 +46,12 @@ from repro.dist.launcher import (
     recover_from_checkpoints,
     simulated_crosscheck,
 )
-from repro.dist.ledger import WireLedger, merge_wire_snapshots
+from repro.dist.ledger import (
+    TenantLedger,
+    WireLedger,
+    merge_wire_snapshots,
+    sent_wire_bytes,
+)
 from repro.dist.transport import LocalFabric, LocalTransport, SendWindow, Transport
 from repro.dist.tcp import TcpTransport, normalize_endpoints
 from repro.dist.wire import Frame, FrameKind
@@ -63,6 +68,7 @@ __all__ = [
     "RankResult",
     "SendWindow",
     "StreamedAllgather",
+    "TenantLedger",
     "TcpTransport",
     "Transport",
     "WireLedger",
@@ -73,5 +79,6 @@ __all__ = [
     "merge_wire_snapshots",
     "normalize_endpoints",
     "recover_from_checkpoints",
+    "sent_wire_bytes",
     "simulated_crosscheck",
 ]

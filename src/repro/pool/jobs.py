@@ -111,6 +111,10 @@ class PoolJob:
     #: recovery marker — must survive :meth:`stripped` so every rank
     #: (not just rank 0, which holds the blob) takes the recovery path
     recovery: bool = False
+    #: opaque caller stamps (tenant, request ids, ...) echoed back on the
+    #: :class:`~repro.pool.pool.PoolJobReport` — the serving tier's
+    #: attribution hook; the mesh never reads it
+    metadata: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.checkpoint is not None:
@@ -123,13 +127,15 @@ class PoolJob:
         checkpoint by in-mesh broadcast, but they must already know to
         run the recovery phase structure — a rank that fell back to the
         fresh path would recompute (and re-exchange) work the checkpoint
-        already holds.
+        already holds.  ``metadata`` is kept too: it is tiny, and a rank
+        error report that names its tenant is worth the copy.
         """
         return PoolJob(
             job_id=self.job_id,
             generation=self.generation,
             config=self.config,
             recovery=self.recovery,
+            metadata=self.metadata,
         )
 
 

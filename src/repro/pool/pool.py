@@ -50,7 +50,7 @@ from repro.dist.worker import DistConfig, RankResult, composite_field
 from repro.errors import ConfigurationError, PoolError, ReproError
 from repro.pool.agent import spawn_local_agents
 from repro.pool.jobs import PoolJob
-from repro.pool.membership import Roster
+from repro.pool.membership import Roster, fence_generation
 from repro.pool.rendezvous import (
     AgentCard,
     parse_rendezvous,
@@ -81,6 +81,9 @@ class PoolJobReport:
     elapsed_s: float
     #: ranks that died or errored during the first attempt
     failed_ranks: List[int] = dataclass_field(default_factory=list)
+    #: dead ranks actually re-seated with a replacement agent in-mesh —
+    #: the failover evidence a serving tier surfaces to its metrics
+    replaced_ranks: List[int] = dataclass_field(default_factory=list)
     #: True when the checkpoint-handoff (or driver fallback) path ran
     recovered: bool = False
     #: True when the driver-side fallback produced the result (the
@@ -100,6 +103,9 @@ class PoolJobReport:
     #: a warm resubmission of the same shape shows ``plan_misses == 0``
     plan_hits: int = 0
     plan_misses: int = 0
+    #: the submitter's :attr:`~repro.pool.jobs.PoolJob.metadata`, echoed
+    #: back verbatim (tenant attribution for the serving tier)
+    metadata: Optional[Dict[str, object]] = None
 
     @property
     def wire_over_model(self) -> float:
@@ -265,6 +271,8 @@ class RankPool:
         field: Optional[np.ndarray] = None,
         spectrum: Optional[np.ndarray] = None,
         recover: bool = True,
+        metadata: Optional[Dict[str, object]] = None,
+        expected_generation: Optional[int] = None,
     ) -> PoolJobReport:
         """Run one ``dist_run``-shaped job on the warm mesh.
 
@@ -272,8 +280,18 @@ class RankPool:
         death the job is recovered in-mesh when ``recover`` is true
         (checkpoint handoff to a replacement agent), else the failure is
         raised as :class:`~repro.errors.PoolError`.
+
+        ``metadata`` rides on the job and is echoed back on the report
+        (tenant attribution for serving tiers); ``expected_generation``
+        fences the submission at the serve boundary — a caller that
+        believes the roster is at generation G gets
+        :class:`~repro.errors.StaleGenerationError` instead of silently
+        running on a membership it has not observed (it can then refresh
+        its view and resubmit).
         """
         roster = self._require_roster()
+        if expected_generation is not None:
+            fence_generation(expected_generation, roster.generation)
         if config.num_ranks != roster.size:
             raise ConfigurationError(
                 f"job wants {config.num_ranks} ranks but the pool has "
@@ -298,6 +316,7 @@ class RankPool:
             config=config,
             field=field,
             spectrum=spectrum,
+            metadata=metadata,
         )
         outcome = self._run_job(job)
 
@@ -452,6 +471,7 @@ class RankPool:
         for blob in outcome.blobs:
             merged.update(checkpoint_from_bytes(blob))
         failed_ranks = sorted(outcome.dead | outcome.errored)
+        replaced_ranks: List[int] = []
 
         try:
             for rank in sorted(outcome.dead):
@@ -471,6 +491,7 @@ class RankPool:
                         pass
                 self._dial(rank, roster.card(rank))
                 self.monitor.watch(rank)
+                replaced_ranks.append(rank)
             self._form_mesh()
             decomp = DomainDecomposition(n=config.n, k=config.k)
             checkpoint = checkpoint_to_bytes(
@@ -490,6 +511,7 @@ class RankPool:
                 field=field,
                 spectrum=spectrum,
                 checkpoint=checkpoint,
+                metadata=job.metadata,
             )
             retry_outcome = self._run_job(retry)
             if retry_outcome.clean:
@@ -504,6 +526,7 @@ class RankPool:
                     exclude_indices=frozenset(merged),
                 )
                 report.failed_ranks = failed_ranks
+                report.replaced_ranks = replaced_ranks
                 return report
             extra_blobs = retry_outcome.blobs
         except PoolError:
@@ -521,8 +544,10 @@ class RankPool:
             generation=roster.generation,
             elapsed_s=self.clock.now() - t0,
             failed_ranks=failed_ranks,
+            replaced_ranks=replaced_ranks,
             recovered=True,
             driver_fallback=True,
+            metadata=job.metadata,
         )
 
     def _replacement_card(self) -> AgentCard:
@@ -580,6 +605,7 @@ class RankPool:
             warm=warm,
             plan_hits=plan_hits,
             plan_misses=plan_misses,
+            metadata=job.metadata,
         )
 
 

@@ -14,6 +14,10 @@ primitives (:class:`~repro.core.batch.BatchConvolver`,
   under ``max_batch_size`` / ``max_wait`` triggers;
 - :class:`BatchExecutor` — warm per-key engines on the serial or
   process-parallel execution paths;
+- :class:`PoolBackend` — the dist-backed executor: batches routed onto
+  standing :class:`~repro.pool.RankPool` meshes by consistent hashing
+  (:class:`ConsistentHashRing`), with generation fencing, transparent
+  checkpoint-handoff failover, and per-tenant wire attribution;
 - :class:`MetricsRegistry` — counters/gauges/histograms snapshot-able to
   JSON;
 - :mod:`repro.serve.loadgen` — a deterministic synthetic load generator
@@ -24,10 +28,17 @@ behaviour is fully testable with a :class:`ManualClock` — no sleeps.
 """
 
 from repro.serve.clock import Clock, ManualClock, MonotonicClock
+from repro.serve.dist_backend import (
+    ConsistentHashRing,
+    PoolBackend,
+    compat_key_string,
+)
 from repro.serve.executor import BatchExecutor
+from repro.serve.loadgen import TenantSpec
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serve.queue import BoundedRequestQueue
 from repro.serve.request import (
+    DEFAULT_TENANT,
     ConvolutionRequest,
     RequestHandle,
     RequestState,
@@ -46,9 +57,14 @@ __all__ = [
     "RequestHandle",
     "RequestState",
     "TERMINAL_STATES",
+    "DEFAULT_TENANT",
+    "TenantSpec",
     "Batch",
     "BatchingScheduler",
     "BatchExecutor",
+    "PoolBackend",
+    "ConsistentHashRing",
+    "compat_key_string",
     "BoundedRequestQueue",
     "MetricsRegistry",
     "Counter",

@@ -132,6 +132,10 @@ class BatchExecutor:
                 self._metrics.observe(
                     "latency.e2e_s", done - request.submitted_at
                 )
+                self._metrics.observe(
+                    f"tenant.{request.tenant}.latency.e2e_s",
+                    done - request.submitted_at,
+                )
         return result.results, elapsed
 
     @property

@@ -23,7 +23,7 @@ claim measured end to end.  The report schema matches
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.core.policy import SamplingPolicy
 from repro.errors import ConfigurationError
 from repro.kernels.gaussian import GaussianKernel
 from repro.serve.clock import Clock, MonotonicClock
+from repro.serve.request import DEFAULT_TENANT
 from repro.serve.server import ConvolutionServer, ServerConfig
 from repro.util.validation import check_positive_int
 
@@ -69,13 +70,36 @@ def policy_spec(policy: SamplingPolicy) -> str:
     )
 
 
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant in a multi-tenant load mix.
+
+    ``weight`` is the tenant's share of the request stream (relative to
+    the other tenants' weights); ``timeout_s`` is the per-request
+    deadline this tenant's requests carry (None = the server default).
+    """
+
+    name: str
+    weight: float = 1.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs weight > 0, got {self.weight}"
+            )
+
+
 @dataclass
 class LoadSpec:
     """A reproducible synthetic request stream.
 
     ``num_kernels > 1`` spreads requests round-robin over that many
     Gaussian kernels of different widths, producing several compatibility
-    groups (each still batchable within itself).
+    groups (each still batchable within itself).  ``tenants`` mixes the
+    stream over named tenants by weight (deterministic in ``seed``, and
+    independent of it for the *fields* — adding tenants never changes
+    the request payloads).
     """
 
     n: int = 64
@@ -85,12 +109,17 @@ class LoadSpec:
     sigma: float = 2.0
     policy: str = "banded"
     seed: int = 0
+    tenants: Optional[Tuple[TenantSpec, ...]] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.n, "n")
         check_positive_int(self.k, "k")
         check_positive_int(self.num_requests, "num_requests")
         check_positive_int(self.num_kernels, "num_kernels")
+        if self.tenants is not None:
+            self.tenants = tuple(self.tenants)
+            if not self.tenants:
+                raise ConfigurationError("tenants must be None or non-empty")
 
     def kernels(self) -> Dict[str, np.ndarray]:
         """Named kernel spectra for the stream (widths sigma, sigma+0.5...)."""
@@ -100,8 +129,18 @@ class LoadSpec:
         }
 
     def requests(self) -> List[dict]:
-        """The deterministic stream: per-request field + kernel name."""
+        """The deterministic stream: field, kernel, tenant, timeout.
+
+        Tenant assignment draws from its *own* generator (derived from
+        ``seed``) so the same seed with or without a tenant mix yields
+        byte-identical request fields.
+        """
         rng = np.random.default_rng(self.seed)
+        tenant_rng = np.random.default_rng((self.seed, 0x7E2A))
+        weights = None
+        if self.tenants:
+            total = sum(t.weight for t in self.tenants)
+            weights = [t.weight / total for t in self.tenants]
         out = []
         for i in range(self.num_requests):
             # Composite-like inputs (signal in the central half-cube), as
@@ -111,7 +150,19 @@ class LoadSpec:
             field[q : self.n - q, q : self.n - q, q : self.n - q] = (
                 rng.standard_normal((self.n - 2 * q,) * 3)
             )
-            out.append({"field": field, "kernel": f"gauss{i % self.num_kernels}"})
+            item = {
+                "field": field,
+                "kernel": f"gauss{i % self.num_kernels}",
+                "tenant": DEFAULT_TENANT,
+                "timeout_s": None,
+            }
+            if self.tenants:
+                tenant = self.tenants[
+                    int(tenant_rng.choice(len(self.tenants), p=weights))
+                ]
+                item["tenant"] = tenant.name
+                item["timeout_s"] = tenant.timeout_s
+            out.append(item)
         return out
 
 
@@ -176,7 +227,58 @@ def run_batched_server(
         server.register_kernel(name, spectrum)
     stream = spec.requests()
     t0 = clock.now()
-    handles = [server.submit(item["field"], kernel=item["kernel"]) for item in stream]
+    handles = [
+        server.submit(
+            item["field"],
+            kernel=item["kernel"],
+            tenant=item.get("tenant", DEFAULT_TENANT),
+            timeout_s=item.get("timeout_s"),
+        )
+        for item in stream
+    ]
+    server.drain()
+    results = [h.result(timeout=0) for h in handles]
+    elapsed = clock.now() - t0
+    return elapsed, [r.approx for r in results], server
+
+
+def run_pool_backed_server(
+    spec: LoadSpec,
+    policy: SamplingPolicy,
+    pool,
+    config: Optional[ServerConfig] = None,
+    clock: Optional[Clock] = None,
+    job_hook=None,
+) -> tuple:
+    """Serve the stream through a server backed by a standing rank pool.
+
+    ``pool`` is a *connected* :class:`~repro.pool.RankPool`; the server
+    routes every batch onto it via
+    :class:`~repro.serve.dist_backend.PoolBackend`.  Returns
+    ``(elapsed_s, results, server)`` like :func:`run_batched_server`.
+    """
+    # Local import: dist_backend imports this module for policy_spec.
+    from repro.serve.dist_backend import PoolBackend
+
+    clock = clock or MonotonicClock()
+    config = config or ServerConfig()
+    config.n, config.k = spec.n, spec.k
+    config.default_policy = policy
+    backend = PoolBackend({"pool0": pool}, job_hook=job_hook)
+    server = ConvolutionServer(config, clock=clock, executor=backend)
+    for name, spectrum in spec.kernels().items():
+        server.register_kernel(name, spectrum)
+    stream = spec.requests()
+    t0 = clock.now()
+    handles = [
+        server.submit(
+            item["field"],
+            kernel=item["kernel"],
+            tenant=item.get("tenant", DEFAULT_TENANT),
+            timeout_s=item.get("timeout_s"),
+        )
+        for item in stream
+    ]
     server.drain()
     results = [h.result(timeout=0) for h in handles]
     elapsed = clock.now() - t0
@@ -184,13 +286,20 @@ def run_batched_server(
 
 
 def run_serve_benchmark(
-    spec: LoadSpec, config: Optional[ServerConfig] = None
+    spec: LoadSpec,
+    config: Optional[ServerConfig] = None,
+    pool=None,
 ) -> BenchReport:
     """Naive vs batched serving of the same stream, results cross-checked.
 
     Also verifies the batched results bitwise against a *direct*
     ``LowCommConvolution3D.run_serial`` per request — the acceptance
     property that batching is a pure reordering, not an approximation.
+
+    With a connected ``pool``, a third pass serves the same stream
+    through the pool-backed server (A/B against the in-process path,
+    same bitwise cross-check) and records it under
+    ``extras["pool_backed"]``.
     """
     policy = parse_policy(spec.policy)
     # Warm process-wide caches (interpolation weights, default plan cache)
@@ -210,6 +319,24 @@ def run_serve_benchmark(
     )
     snap = server.snapshot()
     sizes = snap["histograms"].get("batch.size", {})
+    extras: dict = {}
+    if pool is not None:
+        pool_s, pool_results, pool_server = run_pool_backed_server(
+            spec, policy, pool, config
+        )
+        pool_snap = pool_server.snapshot()
+        extras["pool_backed"] = {
+            "elapsed_s": pool_s,
+            "throughput_rps": spec.num_requests / pool_s if pool_s else 0.0,
+            "bitwise_identical": all(
+                np.array_equal(a, b)
+                for a, b in zip(batched_results, pool_results)
+            ),
+            "ranks": pool.roster.size if pool.roster else 0,
+            "plan_misses": pool_snap["counters"].get("pool.plan_misses", 0),
+            "recoveries": pool_snap["counters"].get("pool.recoveries", 0),
+            "backend": pool_snap.get("backend", {}),
+        }
     return BenchReport(
         naive_s=naive_s,
         batched_s=batched_s,
@@ -217,6 +344,7 @@ def run_serve_benchmark(
         batches=snap["counters"].get("batches_executed", 0),
         batch_size_mean=float(sizes.get("mean", 0.0)),
         metrics=snap,
+        extras=extras,
     )
 
 
@@ -237,6 +365,30 @@ def bench_report_json(spec: LoadSpec, report: BenchReport,
         if config.mode == "parallel"
         else 1
     )
+    results = {
+        "naive": {
+            "median_s": report.naive_s,
+            "times_s": [report.naive_s],
+            "throughput_rps": requests / report.naive_s,
+        },
+        "batched": {
+            "median_s": report.batched_s,
+            "times_s": [report.batched_s],
+            "throughput_rps": requests / report.batched_s,
+        },
+    }
+    speedup = {"batched_vs_naive": report.speedup}
+    pool_row = report.extras.get("pool_backed")
+    if pool_row:
+        results["pool_backed"] = {
+            "median_s": pool_row["elapsed_s"],
+            "times_s": [pool_row["elapsed_s"]],
+            "throughput_rps": pool_row["throughput_rps"],
+        }
+        if pool_row["elapsed_s"]:
+            speedup["pool_backed_vs_naive"] = (
+                report.naive_s / pool_row["elapsed_s"]
+            )
     return bench_envelope(
         "serve",
         n=spec.n,
@@ -245,19 +397,8 @@ def bench_report_json(spec: LoadSpec, report: BenchReport,
         workers_used=workers_used,
         sigma=spec.sigma,
         policy=spec.policy,
-        results={
-            "naive": {
-                "median_s": report.naive_s,
-                "times_s": [report.naive_s],
-                "throughput_rps": requests / report.naive_s,
-            },
-            "batched": {
-                "median_s": report.batched_s,
-                "times_s": [report.batched_s],
-                "throughput_rps": requests / report.batched_s,
-            },
-        },
-        speedup={"batched_vs_naive": report.speedup},
+        results=results,
+        speedup=speedup,
         serve={
             "requests": requests,
             "num_kernels": spec.num_kernels,
@@ -268,6 +409,7 @@ def bench_report_json(spec: LoadSpec, report: BenchReport,
             "batches_executed": report.batches,
             "batch_size_mean": report.batch_size_mean,
             "bitwise_identical": report.bitwise_identical,
+            "pool_backed": pool_row,
             "metrics": report.metrics,
         },
     )

@@ -60,6 +60,9 @@ TERMINAL_STATES = frozenset(
 #: backend, pencil batch).  Requests sharing it share patterns and plans.
 CompatKey = Tuple[int, int, str, SamplingPolicy, Optional[bool], str, Optional[int]]
 
+#: Tenant requests are attributed to when the caller does not name one.
+DEFAULT_TENANT = "default"
+
 
 class RequestHandle:
     """Caller-side future for one submitted request.
@@ -162,6 +165,10 @@ class ConvolutionRequest:
     not_before: float = 0.0  # retry backoff eligibility time
     attempts: int = 0
     run_started_at: float = field(default=0.0, repr=False)
+    #: multi-tenant attribution/quota stamp; deliberately NOT part of
+    #: :attr:`compat_key` — tenants share batches, quotas only bound how
+    #: much of the waiting room each one may occupy
+    tenant: str = DEFAULT_TENANT
 
     @property
     def compat_key(self) -> CompatKey:

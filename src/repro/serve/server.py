@@ -49,6 +49,7 @@ from repro.serve.executor import BatchExecutor, FaultHook
 from repro.serve.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from repro.serve.queue import BoundedRequestQueue
 from repro.serve.request import (
+    DEFAULT_TENANT,
     ConvolutionRequest,
     RequestHandle,
     RequestState,
@@ -87,6 +88,9 @@ class ServerConfig:
         Sampling policy for requests that do not pass one.
     max_engines:
         LRU bound on warm per-compatibility-key engines.
+    tenant_quotas, default_tenant_quota:
+        Per-tenant waiting-room occupancy bounds layered on ``max_queue``
+        (see :class:`~repro.serve.queue.BoundedRequestQueue`).
     """
 
     n: int = 64
@@ -104,6 +108,8 @@ class ServerConfig:
     interpolation: str = "linear"
     default_policy: SamplingPolicy = dataclass_field(default_factory=SamplingPolicy)
     max_engines: int = 8
+    tenant_quotas: Optional[Dict[str, int]] = None
+    default_tenant_quota: Optional[int] = None
 
 
 class ConvolutionServer:
@@ -115,6 +121,7 @@ class ConvolutionServer:
         clock: Optional[Clock] = None,
         metrics: Optional[MetricsRegistry] = None,
         fault_hook: Optional[FaultHook] = None,
+        executor: Optional[object] = None,
     ):
         self.config = config or ServerConfig()
         if self.config.n % self.config.k:
@@ -126,22 +133,36 @@ class ConvolutionServer:
         self._kernels: Dict[str, np.ndarray] = {}
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
-        self.queue = BoundedRequestQueue(self.config.max_queue)
+        self.queue = BoundedRequestQueue(
+            self.config.max_queue,
+            tenant_quotas=self.config.tenant_quotas,
+            default_tenant_quota=self.config.default_tenant_quota,
+        )
         self.scheduler = BatchingScheduler(
             self.queue, self.config.max_batch_size, self.config.max_wait_s
         )
-        self.executor = BatchExecutor(
-            self._kernels,
-            self.clock,
-            self.metrics,
-            mode=self.config.mode,
-            max_workers=self.config.max_workers,
-            max_engines=self.config.max_engines,
-            interpolation=self.config.interpolation,
-            fault_hook=fault_hook,
-        )
+        if executor is not None:
+            # Backend seam: anything with the BatchExecutor protocol
+            # (execute/engine_count, optionally bind/describe/close) —
+            # e.g. :class:`~repro.serve.dist_backend.PoolBackend`.
+            bind = getattr(executor, "bind", None)
+            if bind is not None:
+                bind(self._kernels, self.clock, self.metrics, self.config)
+            self.executor = executor
+        else:
+            self.executor = BatchExecutor(
+                self._kernels,
+                self.clock,
+                self.metrics,
+                mode=self.config.mode,
+                max_workers=self.config.max_workers,
+                max_engines=self.config.max_engines,
+                interpolation=self.config.interpolation,
+                fault_hook=fault_hook,
+            )
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._shutdown_done = False
         # Serializes scheduling iterations: pump() may be called from the
         # background serve loop and from caller threads simultaneously, but
         # engines (and their plan caches) must see one batch at a time.
@@ -167,17 +188,21 @@ class ConvolutionServer:
         policy: Optional[SamplingPolicy] = None,
         timeout_s: Optional[float] = None,
         real_kernel: Optional[bool] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> RequestHandle:
         """Submit one convolution; returns immediately with a handle.
 
         Admission control never raises from here: a rejected request's
         handle is already terminal in state REJECTED and ``result()``
         raises the stored :class:`~repro.errors.AdmissionError`.
+        ``tenant`` stamps the request for quota accounting and wire-byte
+        attribution; it does not affect batching.
         """
         cfg = self.config
         now = self.clock.now()
         handle = RequestHandle(next(self._ids))
         self.metrics.counter("requests_submitted").inc()
+        self.metrics.counter(f"tenant.{tenant}.submitted").inc()
         field = np.asarray(field, dtype=np.float64)
         timeout_s = timeout_s if timeout_s is not None else cfg.default_timeout_s
         request = ConvolutionRequest(
@@ -194,8 +219,13 @@ class ConvolutionServer:
             deadline=(now + timeout_s) if timeout_s is not None else None,
             handle=handle,
             queued_at=now,
+            tenant=str(tenant),
         )
         try:
+            if self._shutdown_done:
+                raise AdmissionError(
+                    "server is shut down", request_id=handle.request_id
+                )
             if field.shape != (cfg.n,) * 3:
                 raise AdmissionError(
                     f"field shape {field.shape} != grid ({cfg.n},)*3",
@@ -212,6 +242,7 @@ class ConvolutionServer:
         except AdmissionError as exc:
             handle._finish(RequestState.REJECTED, error=exc)
             self.metrics.counter("requests_rejected").inc()
+            self.metrics.counter(f"tenant.{tenant}.rejected").inc()
             return handle
         handle._set_state(RequestState.QUEUED)
         return handle
@@ -334,6 +365,50 @@ class ConvolutionServer:
         thread.join(timeout)
         self._thread = None
 
+    def shutdown(self, drain: bool = True, timeout_s: float = 10.0) -> dict:
+        """Orderly shutdown; idempotent (the second call is a no-op).
+
+        Stops the background loop, then either drains every in-flight
+        request (``drain=True`` — pool jobs included, nothing is
+        abandoned mid-mesh) or cancels the waiting ones with a recorded
+        FAILED outcome so no caller blocks forever.  New submissions are
+        rejected afterwards.  Returns a summary dict
+        ``{"drained": n, "cancelled": n, "already_shut_down": bool}``.
+        """
+        with self._lock:
+            if self._shutdown_done:
+                return {"drained": 0, "cancelled": 0, "already_shut_down": True}
+        self.stop(timeout=timeout_s)
+        drained = cancelled = 0
+        if drain:
+            with self._lock:
+                drained = len(self.queue)
+            self.drain(max_wall_s=timeout_s)
+        else:
+            with self._lock:
+                waiting = self.queue.drain_all()
+            for request in waiting:
+                if request.handle._finish(
+                    RequestState.FAILED,
+                    error=ServiceError(
+                        f"request {request.request_id} cancelled by shutdown",
+                        request_id=request.request_id,
+                    ),
+                ):
+                    cancelled += 1
+                    self.metrics.counter("requests_cancelled").inc()
+        with self._lock:
+            self._shutdown_done = True
+            self.metrics.gauge("queue_depth").set(len(self.queue))
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+        return {
+            "drained": drained,
+            "cancelled": cancelled,
+            "already_shut_down": False,
+        }
+
     def _serve_loop(self) -> None:
         while not self._stop.is_set():
             self.pump()
@@ -359,5 +434,9 @@ class ConvolutionServer:
             "max_batch_size": self.config.max_batch_size,
             "max_wait_s": self.config.max_wait_s,
             "max_queue": self.config.max_queue,
+            "shut_down": self._shutdown_done,
         }
+        describe = getattr(self.executor, "describe", None)
+        if describe is not None:
+            snap["backend"] = describe()
         return snap

@@ -30,7 +30,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from repro.errors import ConfigurationError
 
 #: Execution modes the trial registry knows how to run.
-MODES = ("serial", "parallel", "dist", "serve", "pool")
+MODES = ("serial", "parallel", "dist", "serve", "pool", "serve-pool")
 
 #: Rank transports valid for ``mode="dist"`` trials.
 TRANSPORTS = ("local", "tcp")

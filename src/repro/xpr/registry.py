@@ -261,6 +261,72 @@ def run_pool_trial(spec: TrialSpec) -> Dict[str, float]:
         pool.down()
 
 
+@REGISTRY.register("serve-pool")
+def run_serve_pool_trial(spec: TrialSpec) -> Dict[str, float]:
+    """One dist-backed serving trial: server batches onto a standing pool.
+
+    Stands up a file-rendezvous pool of ``spec.ranks`` agents, serves a
+    small deterministic stream through
+    :class:`~repro.serve.dist_backend.PoolBackend`, and cross-checks the
+    results bitwise against the in-process batched server — the one
+    property that makes the pool a transparent execution substrate.
+    """
+    import tempfile
+
+    import numpy as np
+
+    from repro.pool.pool import RankPool
+    from repro.serve.loadgen import (
+        LoadSpec,
+        parse_policy,
+        run_batched_server,
+        run_pool_backed_server,
+    )
+    from repro.serve.server import ServerConfig
+
+    load = LoadSpec(
+        n=spec.n,
+        k=spec.k,
+        num_requests=3,
+        num_kernels=1,
+        sigma=spec.sigma,
+        policy=spec.policy,
+        seed=spec.seed,
+    )
+    policy = parse_policy(spec.policy)
+
+    def server_config() -> ServerConfig:
+        return ServerConfig(n=spec.n, k=spec.k, max_batch_size=4, max_wait_s=0.01)
+
+    local_s, local_results, _ = run_batched_server(load, policy, server_config())
+    rendezvous = f"file://{tempfile.mkdtemp(prefix='xpr-serve-pool-')}"
+    pool = RankPool(rendezvous)
+    try:
+        pool.spawn(spec.ranks)
+        pool.connect(spec.ranks, timeout_s=30.0)
+        pool_s, pool_results, server = run_pool_backed_server(
+            load, policy, pool, server_config()
+        )
+    finally:
+        pool.down()
+    snap = server.snapshot()
+    last = snap.get("backend", {}).get("last_job", {})
+    return {
+        "bitwise_vs_local": float(
+            all(np.array_equal(a, b) for a, b in zip(local_results, pool_results))
+        ),
+        "local_s": float(local_s),
+        "pool_s": float(pool_s),
+        "warm_plan_misses": float(last.get("plan_misses", -1)),
+        "pool_recoveries": float(
+            snap["counters"].get("pool.recoveries", 0)
+        ),
+        "requests_completed": float(
+            snap["counters"].get("requests_completed", 0)
+        ),
+    }
+
+
 def bench_argument_parser(
     description: str,
     *,

@@ -1,0 +1,192 @@
+"""Dist-backed serving under chaos: rank death mid-load, zero fallout.
+
+The acceptance bar for routing :class:`ConvolutionServer` batches onto a
+standing :class:`RankPool`, as tests:
+
+- a 4-rank pool-backed server returns results bitwise identical to a
+  single-process :class:`~repro.core.batch.BatchConvolver` on the same
+  stream;
+- a rank killed mid-batch under live load (via the
+  :mod:`tests.chaos` fault schedule) costs **zero failed requests**: the
+  pool's checkpoint handoff seats a replacement, the roster generation
+  bumps, and the recovered results are still bitwise identical;
+- warm steady state shows ``plan_misses == 0`` on the job reports;
+- every job's wire bytes land in the per-tenant attribution visible in
+  the serve metrics snapshot.
+
+Pools ride the same private ``file://`` rendezvous pattern as the pool
+runtime tests — nothing is shared between tests.
+"""
+
+import numpy as np
+import pytest
+
+from tests.chaos import FaultSchedule, KillAt
+from repro.core.batch import BatchConvolver
+from repro.kernels.gaussian import GaussianKernel
+from repro.pool.pool import RankPool
+from repro.serve import ConvolutionServer, PoolBackend, ServerConfig
+from repro.serve.loadgen import parse_policy
+
+#: the calibrated reference shape shared with the pool/dist tests
+N, K, RANKS = 32, 8, 4
+POLICY = parse_policy("flat:2")
+
+
+@pytest.fixture
+def pool(tmp_path):
+    """A connected 4-rank pool on a private rendezvous."""
+    pool = RankPool(f"file://{tmp_path}")
+    pool.spawn(RANKS)
+    pool.connect(RANKS, timeout_s=30.0)
+    yield pool
+    pool.down()
+
+
+def make_server(pool, job_hook=None):
+    backend = PoolBackend({"p0": pool}, job_hook=job_hook)
+    server = ConvolutionServer(
+        ServerConfig(
+            n=N, k=K, max_batch_size=4, max_wait_s=0.01, default_policy=POLICY
+        ),
+        executor=backend,
+    )
+    return server, backend
+
+
+def kernels():
+    return {
+        "g0": GaussianKernel(n=N, sigma=2.0).spectrum(),
+        "g1": GaussianKernel(n=N, sigma=2.5).spectrum(),
+    }
+
+
+def stream(rng, count):
+    names = sorted(kernels())
+    return [
+        (rng.standard_normal((N,) * 3), names[i % len(names)])
+        for i in range(count)
+    ]
+
+
+def local_reference(requests):
+    """The single-process BatchConvolver results, grouped per kernel."""
+    specs = kernels()
+    out = [None] * len(requests)
+    for name in specs:
+        idx = [i for i, (_, kname) in enumerate(requests) if kname == name]
+        if not idx:
+            continue
+        engine = BatchConvolver(N, K, specs[name], POLICY)
+        batch = engine.run([requests[i][0] for i in idx])
+        for i, result in zip(idx, batch.results):
+            out[i] = result.approx
+    return out
+
+
+class TestKillMidLoad:
+    def test_rank_death_mid_batch_zero_failed_requests(self, pool, rng):
+        schedule = FaultSchedule([KillAt(rank=2, job_index=3)])
+        server, backend = make_server(pool, job_hook=schedule.job_hook)
+        for name, spectrum in kernels().items():
+            server.register_kernel(name, spectrum)
+        requests = stream(rng, 6)
+        handles = [server.submit(f, kernel=kname) for f, kname in requests]
+        server.drain()
+
+        # the kill really happened...
+        assert schedule.fired and schedule.fired[0][0] == 3
+        # ...and cost nothing: every request completed
+        assert all(h.exception() is None for h in handles)
+        snap = server.snapshot()
+        assert snap["counters"].get("requests_failed", 0) == 0
+        assert snap["counters"]["requests_completed"] == len(requests)
+
+        # failover evidence: recovery ran, the dead rank was re-seated,
+        # and the roster generation moved past the bootstrap generation
+        assert snap["counters"]["pool.recoveries"] == 1
+        recovered = [r for r in backend.job_reports if r.recovered]
+        assert len(recovered) == 1
+        # survivors abort their exchange when they see the death, so they
+        # land in failed_ranks too — but only the dead rank is re-seated
+        assert 2 in recovered[0].failed_ranks
+        assert recovered[0].replaced_ranks == [2]
+        assert not recovered[0].driver_fallback
+        assert recovered[0].generation > 1
+        assert pool.roster.size == RANKS
+
+        # the one property that makes failover *transparent*: results are
+        # bitwise identical to the single-process batch path
+        expected = local_reference(requests)
+        for handle, want in zip(handles, expected):
+            np.testing.assert_array_equal(handle.result().approx, want)
+
+    def test_pool_keeps_serving_after_recovery(self, pool, rng):
+        schedule = FaultSchedule.single(job_index=1, rank=0)
+        server, backend = make_server(pool, job_hook=schedule.job_hook)
+        server.register_kernel("g0", kernels()["g0"])
+        first = server.submit(rng.standard_normal((N,) * 3), kernel="g0")
+        server.drain()
+        assert first.exception() is None and schedule.fired
+
+        # post-recovery jobs run on the re-formed mesh without another
+        # recovery and without tripping the generation fence
+        second = server.submit(rng.standard_normal((N,) * 3), kernel="g0")
+        server.drain()
+        assert second.exception() is None
+        snap = server.snapshot()
+        assert snap["counters"]["pool.recoveries"] == 1
+        assert snap["counters"].get("pool.generation_bumps", 0) == 0
+        # the recovered job's report already carries the bumped
+        # generation; the follow-up job runs at that same generation
+        first_report, last_report = backend.job_reports[0], backend.job_reports[-1]
+        assert first_report.recovered and first_report.generation > 1
+        assert last_report.generation == first_report.generation
+        assert not last_report.recovered and last_report.warm
+
+
+class TestWarmSteadyState:
+    def test_plan_misses_zero_once_warm(self, pool, rng):
+        server, backend = make_server(pool)
+        server.register_kernel("g0", kernels()["g0"])
+        fields = [rng.standard_normal((N,) * 3) for _ in range(4)]
+        for field in fields:
+            server.submit(field, kernel="g0")
+            server.drain()
+        reports = list(backend.job_reports)
+        assert len(reports) == 4
+        # first job may build plans; the warm steady state must not
+        assert all(r.plan_misses == 0 for r in reports[1:])
+        assert all(r.warm for r in reports[1:])
+        assert server.snapshot()["backend"]["last_job"]["plan_misses"] == 0
+
+
+class TestTenantAttribution:
+    def test_per_tenant_wire_bytes_in_snapshot(self, pool, rng):
+        server, backend = make_server(pool)
+        server.register_kernel("g0", kernels()["g0"])
+        plan = ["acme", "acme", "umbra"]
+        handles = [
+            server.submit(rng.standard_normal((N,) * 3), kernel="g0", tenant=t)
+            for t in plan
+        ]
+        server.drain()
+        assert all(h.exception() is None for h in handles)
+
+        tenants = server.snapshot()["backend"]["tenants"]
+        assert sorted(tenants) == ["acme", "umbra"]
+        assert tenants["acme"]["jobs"] == 2
+        assert tenants["umbra"]["jobs"] == 1
+        assert tenants["acme"]["sent_bytes"] > tenants["umbra"]["sent_bytes"] > 0
+        # attribution is exact per job: tenant buckets sum to the total
+        total = sum(
+            r.wire_totals.get("sent.exchange.bytes", 0)
+            for r in backend.job_reports
+        )
+        by_tenant = sum(
+            d["counters"].get("sent.exchange.bytes", 0)
+            for d in tenants.values()
+        )
+        assert by_tenant == total > 0
+        # the job metadata round-trips the tenant stamp
+        assert [r.metadata["tenant"] for r in backend.job_reports] == plan

@@ -8,7 +8,12 @@ import pytest
 from repro.core.batch import BatchConvolver
 from repro.core.pipeline import LowCommConvolution3D
 from repro.core.policy import SamplingPolicy
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ServiceError,
+    ShapeError,
+)
 from repro.kernels.gaussian import GaussianKernel
 from repro.serve import (
     ConvolutionServer,
@@ -182,3 +187,61 @@ class TestLoadgen:
         assert report.bitwise_identical
         assert report.batches >= 2  # two kernels -> at least two batches
         assert report.naive_s > 0 and report.batched_s > 0
+
+
+class TestShutdown:
+    def test_shutdown_drains_in_flight_requests(self, server, rng):
+        handles = [
+            server.submit(rng.standard_normal((N, N, N)), kernel="g")
+            for _ in range(3)
+        ]
+        summary = server.shutdown(drain=True)
+        assert summary == {
+            "drained": 3, "cancelled": 0, "already_shut_down": False,
+        }
+        assert all(h.state is RequestState.DONE for h in handles)
+        assert len(server.queue) == 0
+
+    def test_shutdown_without_drain_cancels_with_recorded_outcome(
+        self, server, rng
+    ):
+        handles = [
+            server.submit(rng.standard_normal((N, N, N)), kernel="g")
+            for _ in range(2)
+        ]
+        summary = server.shutdown(drain=False)
+        assert summary["cancelled"] == 2
+        for h in handles:
+            assert h.state is RequestState.FAILED
+            with pytest.raises(ServiceError, match="cancelled by shutdown"):
+                h.result(timeout=0)
+        assert server.snapshot()["counters"]["requests_cancelled"] == 2
+
+    def test_double_shutdown_is_idempotent(self, server, rng):
+        server.submit(rng.standard_normal((N, N, N)), kernel="g")
+        first = server.shutdown()
+        second = server.shutdown()
+        third = server.shutdown(drain=False)
+        assert not first["already_shut_down"]
+        assert second == {
+            "drained": 0, "cancelled": 0, "already_shut_down": True,
+        }
+        assert third["already_shut_down"]
+
+    def test_submit_after_shutdown_is_rejected(self, server, rng):
+        server.shutdown()
+        handle = server.submit(rng.standard_normal((N, N, N)), kernel="g")
+        assert handle.state is RequestState.REJECTED
+        with pytest.raises(AdmissionError, match="shut down"):
+            handle.result(timeout=0)
+        assert server.snapshot()["server"]["shut_down"]
+
+    def test_shutdown_stops_background_loop(self, spectrum):
+        server = ConvolutionServer(
+            ServerConfig(n=N, k=K, max_wait_s=0.005, default_policy=POLICY)
+        )
+        server.register_kernel("g", spectrum)
+        server.start()
+        assert server._thread is not None
+        server.shutdown()
+        assert server._thread is None

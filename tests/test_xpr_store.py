@@ -176,7 +176,8 @@ class TestSeeding:
         assert len(paths) == 5
         store = TrajectoryStore(tmp_path / "t.jsonl")
         records = seed_from_bench_files(store, paths)
-        assert len(records) == 20
+        # 21 = the historical 20 + the pool_backed serve A/B row
+        assert len(records) == 21
         assert {r.experiment for r in records} == {
             "bench-dist", "bench-pipeline", "bench-pool",
             "bench-serialize", "bench-serve",
